@@ -1,0 +1,215 @@
+"""Refinement terms (formulas) of the specification logic.
+
+This is the language of refinement predicates ``psi`` from Fig. 2 of the
+paper: boolean connectives, linear integer arithmetic, finite sets, and
+uninterpreted (measure) applications.  The distinguished *value variable*
+``nu`` is an ordinary :class:`Var` named ``_v``.
+
+Formulas are immutable; structural equality and hashing are used pervasively
+(assignments, caches, qualifier sets), so ``==`` is structural — use
+:func:`repro.logic.ops.eq` to build an equality *formula*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from .sorts import BOOL, INT, BoolSort, IntSort, SetSort, Sort, VarSort
+
+#: Conventional name of the value variable nu.
+VALUE_VAR = "_v"
+
+
+class UnaryOp(enum.Enum):
+    """Unary connectives and arithmetic."""
+
+    NOT = "!"
+    NEG = "-"
+
+
+class BinaryOp(enum.Enum):
+    """Binary interpreted symbols of the refinement logic."""
+
+    # arithmetic (Int, Int) -> Int
+    PLUS = "+"
+    MINUS = "-"
+    TIMES = "*"
+    # comparisons (Int, Int) -> Bool
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    # polymorphic equality (a, a) -> Bool
+    EQ = "=="
+    NEQ = "!="
+    # boolean connectives
+    AND = "&&"
+    OR = "||"
+    IMPLIES = "==>"
+    IFF = "<==>"
+    # set operations (Set a, Set a) -> Set a
+    UNION = "+s"
+    INTERSECT = "*s"
+    DIFF = "-s"
+    # set predicates
+    MEMBER = "in"        # (a, Set a) -> Bool
+    SUBSET = "<=s"       # (Set a, Set a) -> Bool
+
+
+ARITH_OPS = {BinaryOp.PLUS, BinaryOp.MINUS, BinaryOp.TIMES}
+COMPARISON_OPS = {BinaryOp.LT, BinaryOp.LE, BinaryOp.GT, BinaryOp.GE}
+EQUALITY_OPS = {BinaryOp.EQ, BinaryOp.NEQ}
+BOOLEAN_OPS = {BinaryOp.AND, BinaryOp.OR, BinaryOp.IMPLIES, BinaryOp.IFF}
+SET_OPS = {BinaryOp.UNION, BinaryOp.INTERSECT, BinaryOp.DIFF}
+SET_PREDICATES = {BinaryOp.MEMBER, BinaryOp.SUBSET}
+
+
+class Formula:
+    """Base class of refinement terms."""
+
+    @property
+    def sort(self) -> Sort:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from .pretty import pretty_formula
+
+        return pretty_formula(self)
+
+
+@dataclass(frozen=True)
+class BoolLit(Formula):
+    """``True`` or ``False``."""
+
+    value: bool
+
+    @property
+    def sort(self) -> Sort:
+        return BOOL
+
+
+@dataclass(frozen=True)
+class IntLit(Formula):
+    """An integer constant."""
+
+    value: int
+
+    @property
+    def sort(self) -> Sort:
+        return INT
+
+
+@dataclass(frozen=True)
+class Var(Formula):
+    """A logical variable (a program variable or the value variable)."""
+
+    name: str
+    var_sort: Sort
+
+    @property
+    def sort(self) -> Sort:
+        return self.var_sort
+
+
+@dataclass(frozen=True)
+class Unknown(Formula):
+    """A predicate unknown ``P_i`` whose valuation is a liquid formula,
+    discovered by the Horn solver.  ``substitution`` is a pending renaming
+    applied when the unknown is instantiated (kept as a tuple of pairs so the
+    node stays hashable)."""
+
+    name: str
+    substitution: Tuple[Tuple[str, "Formula"], ...] = ()
+
+    @property
+    def sort(self) -> Sort:
+        return BOOL
+
+
+@dataclass(frozen=True)
+class Unary(Formula):
+    """Application of a unary interpreted symbol."""
+
+    op: UnaryOp
+    arg: Formula
+
+    @property
+    def sort(self) -> Sort:
+        return BOOL if self.op is UnaryOp.NOT else INT
+
+
+@dataclass(frozen=True)
+class Binary(Formula):
+    """Application of a binary interpreted symbol."""
+
+    op: BinaryOp
+    lhs: Formula
+    rhs: Formula
+
+    @property
+    def sort(self) -> Sort:
+        if self.op in ARITH_OPS:
+            return INT
+        if self.op in SET_OPS:
+            return self.lhs.sort
+        return BOOL
+
+
+@dataclass(frozen=True)
+class Ite(Formula):
+    """``if cond then then_ else else_`` at the level of refinement terms."""
+
+    cond: Formula
+    then_: Formula
+    else_: Formula
+
+    @property
+    def sort(self) -> Sort:
+        return self.then_.sort
+
+
+@dataclass(frozen=True)
+class App(Formula):
+    """Application of an uninterpreted function (a *measure* such as ``len``
+    or ``elems``) to argument terms."""
+
+    func: str
+    args: Tuple[Formula, ...]
+    result_sort: Sort
+
+    @property
+    def sort(self) -> Sort:
+        return self.result_sort
+
+
+@dataclass(frozen=True)
+class SetLit(Formula):
+    """A finite set literal ``[e1, ..., ek]``; the empty set is ``SetLit(s, ())``."""
+
+    element_sort: Sort
+    elements: Tuple[Formula, ...] = ()
+
+    @property
+    def sort(self) -> Sort:
+        return SetSort(self.element_sort)
+
+
+TRUE = BoolLit(True)
+FALSE = BoolLit(False)
+
+
+def is_true(formula: Formula) -> bool:
+    """Is ``formula`` the literal ``True``?"""
+    return isinstance(formula, BoolLit) and formula.value
+
+
+def is_false(formula: Formula) -> bool:
+    """Is ``formula`` the literal ``False``?"""
+    return isinstance(formula, BoolLit) and not formula.value
+
+
+def value_var(sort: Sort) -> Var:
+    """The value variable ``nu`` at the given sort."""
+    return Var(VALUE_VAR, sort)

@@ -1,0 +1,75 @@
+"""Pretty-printing of refinement formulas in Synquid-like concrete syntax."""
+
+from __future__ import annotations
+
+from .formulas import (
+    App,
+    Binary,
+    BinaryOp,
+    BoolLit,
+    Formula,
+    IntLit,
+    Ite,
+    SetLit,
+    Unary,
+    UnaryOp,
+    Unknown,
+    Var,
+)
+
+_BINARY_SYMBOLS = {
+    BinaryOp.PLUS: "+",
+    BinaryOp.MINUS: "-",
+    BinaryOp.TIMES: "*",
+    BinaryOp.LT: "<",
+    BinaryOp.LE: "<=",
+    BinaryOp.GT: ">",
+    BinaryOp.GE: ">=",
+    BinaryOp.EQ: "==",
+    BinaryOp.NEQ: "!=",
+    BinaryOp.AND: "&&",
+    BinaryOp.OR: "||",
+    BinaryOp.IMPLIES: "==>",
+    BinaryOp.IFF: "<==>",
+    BinaryOp.UNION: "+",
+    BinaryOp.INTERSECT: "*",
+    BinaryOp.DIFF: "-",
+    BinaryOp.MEMBER: "in",
+    BinaryOp.SUBSET: "<=",
+}
+
+
+def pretty_formula(formula: Formula) -> str:
+    """Render a formula as a human-readable string."""
+    if isinstance(formula, BoolLit):
+        return "True" if formula.value else "False"
+    if isinstance(formula, IntLit):
+        return str(formula.value)
+    if isinstance(formula, Var):
+        return "nu" if formula.name == "_v" else formula.name
+    if isinstance(formula, Unknown):
+        if formula.substitution:
+            subst = ", ".join(
+                f"{name} := {pretty_formula(value)}" for name, value in formula.substitution
+            )
+            return f"?{formula.name}[{subst}]"
+        return f"?{formula.name}"
+    if isinstance(formula, Unary):
+        symbol = "!" if formula.op is UnaryOp.NOT else "-"
+        return f"{symbol}({pretty_formula(formula.arg)})"
+    if isinstance(formula, Binary):
+        symbol = _BINARY_SYMBOLS[formula.op]
+        return f"({pretty_formula(formula.lhs)} {symbol} {pretty_formula(formula.rhs)})"
+    if isinstance(formula, Ite):
+        return (
+            f"(if {pretty_formula(formula.cond)} "
+            f"then {pretty_formula(formula.then_)} "
+            f"else {pretty_formula(formula.else_)})"
+        )
+    if isinstance(formula, App):
+        args = " ".join(pretty_formula(arg) for arg in formula.args)
+        return f"({formula.func} {args})"
+    if isinstance(formula, SetLit):
+        elements = ", ".join(pretty_formula(el) for el in formula.elements)
+        return f"[{elements}]"
+    raise TypeError(f"unknown formula node: {formula!r}")

@@ -1,0 +1,104 @@
+"""Generic traversals over refinement formulas.
+
+Provides a bottom-up map (:func:`transform`), subterm iteration
+(:func:`subterms`), and collection helpers used by substitution, the
+qualifier extractor, and the SMT front end.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Set
+
+from .formulas import (
+    App,
+    Binary,
+    BoolLit,
+    Formula,
+    IntLit,
+    Ite,
+    SetLit,
+    Unary,
+    Unknown,
+    Var,
+)
+
+
+def transform(formula: Formula, fn: Callable[[Formula], Formula]) -> Formula:
+    """Rebuild ``formula`` bottom-up, applying ``fn`` to every node after its
+    children have been transformed."""
+    if isinstance(formula, (BoolLit, IntLit, Var, Unknown)):
+        return fn(formula)
+    if isinstance(formula, Unary):
+        return fn(Unary(formula.op, transform(formula.arg, fn)))
+    if isinstance(formula, Binary):
+        return fn(
+            Binary(
+                formula.op,
+                transform(formula.lhs, fn),
+                transform(formula.rhs, fn),
+            )
+        )
+    if isinstance(formula, Ite):
+        return fn(
+            Ite(
+                transform(formula.cond, fn),
+                transform(formula.then_, fn),
+                transform(formula.else_, fn),
+            )
+        )
+    if isinstance(formula, App):
+        return fn(
+            App(
+                formula.func,
+                tuple(transform(arg, fn) for arg in formula.args),
+                formula.result_sort,
+            )
+        )
+    if isinstance(formula, SetLit):
+        return fn(
+            SetLit(
+                formula.element_sort,
+                tuple(transform(el, fn) for el in formula.elements),
+            )
+        )
+    raise TypeError(f"unknown formula node: {formula!r}")
+
+
+def subterms(formula: Formula) -> Iterator[Formula]:
+    """Yield every subterm of ``formula`` (including itself), pre-order."""
+    yield formula
+    if isinstance(formula, Unary):
+        yield from subterms(formula.arg)
+    elif isinstance(formula, Binary):
+        yield from subterms(formula.lhs)
+        yield from subterms(formula.rhs)
+    elif isinstance(formula, Ite):
+        yield from subterms(formula.cond)
+        yield from subterms(formula.then_)
+        yield from subterms(formula.else_)
+    elif isinstance(formula, App):
+        for arg in formula.args:
+            yield from subterms(arg)
+    elif isinstance(formula, SetLit):
+        for el in formula.elements:
+            yield from subterms(el)
+
+
+def free_vars(formula: Formula) -> Set[str]:
+    """Names of all variables occurring in ``formula``."""
+    return {node.name for node in subterms(formula) if isinstance(node, Var)}
+
+
+def unknowns(formula: Formula) -> Set[str]:
+    """Names of all predicate unknowns occurring in ``formula``."""
+    return {node.name for node in subterms(formula) if isinstance(node, Unknown)}
+
+
+def has_unknowns(formula: Formula) -> bool:
+    """Does ``formula`` contain any predicate unknown?"""
+    return any(isinstance(node, Unknown) for node in subterms(formula))
+
+
+def measure_apps(formula: Formula) -> Set[App]:
+    """All uninterpreted-function applications occurring in ``formula``."""
+    return {node for node in subterms(formula) if isinstance(node, App)}

@@ -1,0 +1,32 @@
+"""The SMT substrate: SAT core, EUF, LIA, set encoding, lazy DPLL(T)."""
+
+from .euf import CongruenceClosure, TermBank
+from .interface import default_solver, reset_default_solver, satisfiable, statistics, valid
+from .lia import Constraint, LiaSolver, LinearExpr, Relation
+from .sat import SatResult, SatSolver, solve_clauses
+from .sets import eliminate_sets, mentions_sets
+from .solver import SmtSolver, SolverStatistics
+from .theory import Literal, TheoryChecker
+
+__all__ = [
+    "CongruenceClosure",
+    "Constraint",
+    "LiaSolver",
+    "LinearExpr",
+    "Literal",
+    "Relation",
+    "SatResult",
+    "SatSolver",
+    "SmtSolver",
+    "SolverStatistics",
+    "TermBank",
+    "TheoryChecker",
+    "default_solver",
+    "eliminate_sets",
+    "mentions_sets",
+    "reset_default_solver",
+    "satisfiable",
+    "solve_clauses",
+    "statistics",
+    "valid",
+]

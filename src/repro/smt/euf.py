@@ -1,0 +1,141 @@
+"""Congruence closure for equality with uninterpreted functions (EUF).
+
+Measures (``len``, ``elems``, ``keys``, ...) are uninterpreted functions in
+the refinement logic, so the theory solver needs congruence reasoning:
+``t1 = t2`` must entail ``len t1 = len t2``.  This module implements a
+classic union-find based congruence closure over first-order terms.
+
+Terms are plain tuples: ``("app", fname, child_id, ...)`` for applications
+and ``("const", name)`` for constants, interned to integer ids by
+:class:`TermBank`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass
+class TermBank:
+    """Interns first-order terms as integer ids."""
+
+    _terms: List[Tuple] = field(default_factory=list)
+    _ids: Dict[Tuple, int] = field(default_factory=dict)
+
+    def constant(self, name: str) -> int:
+        """Intern a constant symbol."""
+        return self._intern(("const", name))
+
+    def apply(self, function: str, args: Sequence[int]) -> int:
+        """Intern an application of ``function`` to already-interned args."""
+        return self._intern(("app", function) + tuple(args))
+
+    def _intern(self, term: Tuple) -> int:
+        if term in self._ids:
+            return self._ids[term]
+        term_id = len(self._terms)
+        self._terms.append(term)
+        self._ids[term] = term_id
+        return term_id
+
+    def term(self, term_id: int) -> Tuple:
+        """The structure of an interned term."""
+        return self._terms[term_id]
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def all_ids(self) -> range:
+        """Ids of all interned terms."""
+        return range(len(self._terms))
+
+
+class CongruenceClosure:
+    """Union-find based congruence closure.
+
+    Usage: intern terms through :attr:`bank`, assert equalities and
+    disequalities, then ask :meth:`is_consistent`, :meth:`are_equal`, or
+    enumerate entailed equalities over a set of terms.
+    """
+
+    def __init__(self, bank: Optional[TermBank] = None) -> None:
+        self.bank = bank if bank is not None else TermBank()
+        self._parent: Dict[int, int] = {}
+        self._disequalities: List[Tuple[int, int]] = []
+
+    # -- union-find --------------------------------------------------------
+
+    def _find(self, term_id: int) -> int:
+        parent = self._parent.get(term_id, term_id)
+        if parent == term_id:
+            return term_id
+        root = self._find(parent)
+        self._parent[term_id] = root
+        return root
+
+    def _union(self, a: int, b: int) -> None:
+        root_a, root_b = self._find(a), self._find(b)
+        if root_a != root_b:
+            self._parent[root_a] = root_b
+
+    # -- assertions ----------------------------------------------------------
+
+    def assert_equal(self, a: int, b: int) -> None:
+        """Assert that the two terms are equal."""
+        self._union(a, b)
+        self._rebuild_congruence()
+
+    def assert_distinct(self, a: int, b: int) -> None:
+        """Assert that the two terms are distinct."""
+        self._disequalities.append((a, b))
+
+    # -- queries -------------------------------------------------------------
+
+    def are_equal(self, a: int, b: int) -> bool:
+        """Are the two terms known to be equal?"""
+        return self._find(a) == self._find(b)
+
+    def is_consistent(self) -> bool:
+        """Do the asserted disequalities hold under the closure?"""
+        return all(not self.are_equal(a, b) for a, b in self._disequalities)
+
+    def entailed_equalities(self, term_ids: Sequence[int]) -> List[Tuple[int, int]]:
+        """All pairs among ``term_ids`` that the closure proves equal."""
+        pairs: List[Tuple[int, int]] = []
+        for index, a in enumerate(term_ids):
+            for b in term_ids[index + 1:]:
+                if a != b and self.are_equal(a, b):
+                    pairs.append((a, b))
+        return pairs
+
+    def classes(self) -> Dict[int, Set[int]]:
+        """The current partition of all interned terms into classes."""
+        result: Dict[int, Set[int]] = {}
+        for term_id in self.bank.all_ids():
+            result.setdefault(self._find(term_id), set()).add(term_id)
+        return result
+
+    # -- congruence ----------------------------------------------------------
+
+    def _rebuild_congruence(self) -> None:
+        """Merge classes until congruence is a fixpoint.
+
+        The term banks in refinement queries hold at most a few hundred
+        terms, so the quadratic fixpoint loop is plenty fast.
+        """
+        changed = True
+        while changed:
+            changed = False
+            signature: Dict[Tuple, int] = {}
+            for term_id in self.bank.all_ids():
+                term = self.bank.term(term_id)
+                if term[0] != "app":
+                    continue
+                key = (term[1],) + tuple(self._find(arg) for arg in term[2:])
+                other = signature.get(key)
+                if other is None:
+                    signature[key] = term_id
+                elif not self.are_equal(other, term_id):
+                    self._union(other, term_id)
+                    changed = True

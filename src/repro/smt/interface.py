@@ -1,0 +1,44 @@
+"""Module-level convenience interface to the SMT substrate.
+
+The type checker and the Horn solver issue a very large number of small
+validity / satisfiability queries; routing them through a shared default
+solver lets results be memoized across the whole synthesis run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..logic.formulas import Formula
+from .solver import SmtSolver, SolverStatistics
+
+_default_solver: Optional[SmtSolver] = None
+
+
+def default_solver() -> SmtSolver:
+    """The process-wide shared solver instance."""
+    global _default_solver
+    if _default_solver is None:
+        _default_solver = SmtSolver()
+    return _default_solver
+
+
+def reset_default_solver() -> None:
+    """Replace the shared solver (drops caches and statistics)."""
+    global _default_solver
+    _default_solver = SmtSolver()
+
+
+def valid(formula: Formula) -> bool:
+    """Is the formula valid (true in all models)?"""
+    return default_solver().is_valid(formula)
+
+
+def satisfiable(formula: Formula) -> bool:
+    """Is the formula satisfiable (true in some model)?"""
+    return default_solver().is_satisfiable(formula)
+
+
+def statistics() -> SolverStatistics:
+    """Counters of the shared solver."""
+    return default_solver().statistics

@@ -1,0 +1,260 @@
+"""Linear integer arithmetic over conjunctions of literals.
+
+The theory solver receives a conjunction of linear constraints (produced by
+the purifier in ``repro.smt.theory``) and decides feasibility.  The decision
+procedure is Fourier–Motzkin elimination over the rationals with integer
+tightening of strict inequalities and Gaussian substitution of equalities;
+disequalities are handled by case splitting.
+
+Soundness note (documented in DESIGN.md): an *infeasible* verdict is always
+correct (rational infeasibility implies integer infeasibility), which is the
+direction refinement-type soundness depends on — ``Valid(phi)`` is decided as
+``not Sat(not phi)``.  A *feasible* verdict can in rare corner cases (for
+example ``2*x == 1``) be rationally feasible but integer-infeasible; this can
+only make the type checker reject a correct program, never accept a wrong
+one.  The benchmark suite's constraints are unit-coefficient, where the
+procedure is exact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Relation(enum.Enum):
+    """Relation of a linear constraint ``expr REL 0``."""
+
+    LE = "<="
+    EQ = "=="
+    NEQ = "!="
+
+
+@dataclass(frozen=True)
+class LinearExpr:
+    """A linear expression ``sum(coeff * var) + constant``.
+
+    Coefficients are :class:`fractions.Fraction` so eliminations stay exact.
+    """
+
+    coefficients: Tuple[Tuple[str, Fraction], ...] = ()
+    constant: Fraction = Fraction(0)
+
+    @staticmethod
+    def from_dict(coefficients: Dict[str, Fraction], constant: Fraction) -> "LinearExpr":
+        """Build an expression, dropping zero coefficients and fixing order."""
+        cleaned = tuple(
+            sorted((name, coeff) for name, coeff in coefficients.items() if coeff != 0)
+        )
+        return LinearExpr(cleaned, constant)
+
+    @staticmethod
+    def constant_expr(value: int) -> "LinearExpr":
+        """The constant expression ``value``."""
+        return LinearExpr((), Fraction(value))
+
+    @staticmethod
+    def variable(name: str) -> "LinearExpr":
+        """The expression consisting of a single variable."""
+        return LinearExpr(((name, Fraction(1)),), Fraction(0))
+
+    def as_dict(self) -> Dict[str, Fraction]:
+        """Coefficients as a mutable dictionary."""
+        return dict(self.coefficients)
+
+    def scale(self, factor: Fraction) -> "LinearExpr":
+        """Multiply the whole expression by ``factor``."""
+        return LinearExpr.from_dict(
+            {name: coeff * factor for name, coeff in self.coefficients},
+            self.constant * factor,
+        )
+
+    def add(self, other: "LinearExpr") -> "LinearExpr":
+        """Pointwise sum of two expressions."""
+        coefficients = self.as_dict()
+        for name, coeff in other.coefficients:
+            coefficients[name] = coefficients.get(name, Fraction(0)) + coeff
+        return LinearExpr.from_dict(coefficients, self.constant + other.constant)
+
+    def subtract(self, other: "LinearExpr") -> "LinearExpr":
+        """Pointwise difference of two expressions."""
+        return self.add(other.scale(Fraction(-1)))
+
+    def coefficient(self, name: str) -> Fraction:
+        """Coefficient of ``name`` (zero if absent)."""
+        return dict(self.coefficients).get(name, Fraction(0))
+
+    def variables(self) -> List[str]:
+        """Names of variables with non-zero coefficients."""
+        return [name for name, _ in self.coefficients]
+
+    def is_constant(self) -> bool:
+        """Does the expression mention no variables?"""
+        return not self.coefficients
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A linear constraint ``expr REL 0``."""
+
+    expr: LinearExpr
+    relation: Relation
+
+    def variables(self) -> List[str]:
+        """Variables mentioned by the constraint."""
+        return self.expr.variables()
+
+
+def le(lhs: LinearExpr, rhs: LinearExpr) -> Constraint:
+    """Constraint ``lhs <= rhs``."""
+    return Constraint(lhs.subtract(rhs), Relation.LE)
+
+
+def lt(lhs: LinearExpr, rhs: LinearExpr) -> Constraint:
+    """Constraint ``lhs < rhs`` tightened over the integers to ``lhs + 1 <= rhs``."""
+    return Constraint(lhs.subtract(rhs).add(LinearExpr.constant_expr(1)), Relation.LE)
+
+
+def eq(lhs: LinearExpr, rhs: LinearExpr) -> Constraint:
+    """Constraint ``lhs == rhs``."""
+    return Constraint(lhs.subtract(rhs), Relation.EQ)
+
+
+def neq(lhs: LinearExpr, rhs: LinearExpr) -> Constraint:
+    """Constraint ``lhs != rhs``."""
+    return Constraint(lhs.subtract(rhs), Relation.NEQ)
+
+
+class LiaSolver:
+    """Feasibility checking for conjunctions of linear integer constraints."""
+
+    #: Safety cap on Fourier–Motzkin growth; queries stay far below it.
+    MAX_INEQUALITIES = 20_000
+
+    def is_feasible(self, constraints: Sequence[Constraint]) -> bool:
+        """Is the conjunction of ``constraints`` satisfiable?"""
+        return self._solve(list(constraints))
+
+    # -- internals ---------------------------------------------------------
+
+    def _solve(self, constraints: List[Constraint]) -> bool:
+        # Split on the first disequality, if any.
+        for index, constraint in enumerate(constraints):
+            if constraint.relation is Relation.NEQ:
+                rest = constraints[:index] + constraints[index + 1:]
+                strictly_less = Constraint(
+                    constraint.expr.add(LinearExpr.constant_expr(1)), Relation.LE
+                )
+                strictly_greater = Constraint(
+                    constraint.expr.scale(Fraction(-1)).add(LinearExpr.constant_expr(1)),
+                    Relation.LE,
+                )
+                return self._solve(rest + [strictly_less]) or self._solve(
+                    rest + [strictly_greater]
+                )
+
+        # Eliminate equalities by substitution (or split into two inequalities
+        # when no unit coefficient is available).
+        for index, constraint in enumerate(constraints):
+            if constraint.relation is Relation.EQ:
+                rest = constraints[:index] + constraints[index + 1:]
+                if constraint.expr.is_constant():
+                    if constraint.expr.constant != 0:
+                        return False
+                    return self._solve(rest)
+                substituted = self._substitute_equality(constraint, rest)
+                if substituted is not None:
+                    return self._solve(substituted)
+                as_inequalities = [
+                    Constraint(constraint.expr, Relation.LE),
+                    Constraint(constraint.expr.scale(Fraction(-1)), Relation.LE),
+                ]
+                return self._solve(rest + as_inequalities)
+
+        inequalities = [c.expr for c in constraints]
+        return self._fourier_motzkin(inequalities)
+
+    @staticmethod
+    def _substitute_equality(
+        equality: Constraint, others: List[Constraint]
+    ) -> Optional[List[Constraint]]:
+        """Solve ``equality`` for one of its variables and substitute it away.
+
+        Any variable can be isolated because coefficients are rational; the
+        substitution preserves rational feasibility exactly.
+        """
+        expr = equality.expr
+        if not expr.coefficients:
+            return None
+        name, coeff = expr.coefficients[0]
+        # name = -(rest)/coeff
+        rest = LinearExpr.from_dict(
+            {n: c for n, c in expr.coefficients if n != name}, expr.constant
+        )
+        replacement = rest.scale(Fraction(-1) / coeff)
+
+        def substitute(target: LinearExpr) -> LinearExpr:
+            c = target.coefficient(name)
+            if c == 0:
+                return target
+            without = LinearExpr.from_dict(
+                {n: k for n, k in target.coefficients if n != name}, target.constant
+            )
+            return without.add(replacement.scale(c))
+
+        return [Constraint(substitute(c.expr), c.relation) for c in others]
+
+    def _fourier_motzkin(self, inequalities: List[LinearExpr]) -> bool:
+        """Rational feasibility of ``expr <= 0`` constraints by elimination."""
+        inequalities = list(inequalities)
+        while True:
+            # Constant rows are decided immediately.
+            remaining: List[LinearExpr] = []
+            for expr in inequalities:
+                if expr.is_constant():
+                    if expr.constant > 0:
+                        return False
+                else:
+                    remaining.append(expr)
+            inequalities = remaining
+            if not inequalities:
+                return True
+
+            variable = self._pick_variable(inequalities)
+            lower, upper, unrelated = [], [], []
+            for expr in inequalities:
+                coeff = expr.coefficient(variable)
+                if coeff > 0:
+                    upper.append(expr)       # variable <= bound
+                elif coeff < 0:
+                    lower.append(expr)       # bound <= variable
+                else:
+                    unrelated.append(expr)
+
+            combined: List[LinearExpr] = []
+            for up in upper:
+                for low in lower:
+                    up_coeff = up.coefficient(variable)
+                    low_coeff = -low.coefficient(variable)
+                    merged = up.scale(low_coeff).add(low.scale(up_coeff))
+                    combined.append(merged)
+            inequalities = unrelated + combined
+            if len(inequalities) > self.MAX_INEQUALITIES:
+                # Give up on proving infeasibility; "feasible" is the safe
+                # (sound) answer for validity checking.
+                return True
+
+    @staticmethod
+    def _pick_variable(inequalities: List[LinearExpr]) -> str:
+        """Choose the variable whose elimination creates the fewest rows."""
+        occurrences: Dict[str, Tuple[int, int]] = {}
+        for expr in inequalities:
+            for name, coeff in expr.coefficients:
+                lower, upper = occurrences.get(name, (0, 0))
+                if coeff < 0:
+                    occurrences[name] = (lower + 1, upper)
+                else:
+                    occurrences[name] = (lower, upper + 1)
+        return min(occurrences, key=lambda n: occurrences[n][0] * occurrences[n][1])

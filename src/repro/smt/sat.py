@@ -1,0 +1,173 @@
+"""A small DPLL SAT solver.
+
+This is the propositional core of the lazy SMT loop (``repro.smt.solver``)
+and the "map" solver of the MARCO-style MUS enumerator in
+``repro.typecheck.musfix``.  Clauses are lists of non-zero integers in DIMACS
+convention: positive literal ``v`` means variable ``v`` is true, ``-v`` means
+it is false.
+
+The formulas produced by refinement type checking are small (tens to a few
+hundred variables), so the solver favours simplicity: unit propagation,
+a most-occurring-literal decision heuristic, and chronological backtracking.
+Learned blocking clauses can be added between calls via :meth:`SatSolver.add_clause`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+
+class Unsatisfiable(Exception):
+    """Raised internally when the clause set is trivially unsatisfiable."""
+
+
+@dataclass
+class SatResult:
+    """Outcome of a SAT call: ``satisfiable`` plus a model when it is."""
+
+    satisfiable: bool
+    model: Dict[int, bool] = field(default_factory=dict)
+
+
+class SatSolver:
+    """An incremental DPLL solver over integer literals."""
+
+    def __init__(self) -> None:
+        self._clauses: List[List[int]] = []
+        self._variables: Set[int] = set()
+
+    # -- clause management -------------------------------------------------
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause (a disjunction of literals)."""
+        clause = sorted(set(literals))
+        if not clause:
+            # An empty clause makes the problem unsatisfiable; keep it so the
+            # next solve call reports that.
+            self._clauses.append([])
+            return
+        if any(-lit in clause for lit in clause):
+            return  # tautology
+        self._clauses.append(clause)
+        for lit in clause:
+            self._variables.add(abs(lit))
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        """Add several clauses."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of stored clauses."""
+        return len(self._clauses)
+
+    # -- solving -----------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
+        """Search for a model of the stored clauses extended with the given
+        assumption literals."""
+        assignment: Dict[int, bool] = {}
+        try:
+            for literal in assumptions:
+                self._assign_literal(assignment, literal)
+        except Unsatisfiable:
+            return SatResult(False)
+        clauses = [list(clause) for clause in self._clauses]
+        if any(not clause for clause in clauses):
+            return SatResult(False)
+        result = self._dpll(clauses, assignment)
+        if result is None:
+            return SatResult(False)
+        # Complete the model: unconstrained variables default to False.
+        for variable in self._variables:
+            result.setdefault(variable, False)
+        return SatResult(True, result)
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _assign_literal(assignment: Dict[int, bool], literal: int) -> None:
+        variable, value = abs(literal), literal > 0
+        if variable in assignment and assignment[variable] != value:
+            raise Unsatisfiable()
+        assignment[variable] = value
+
+    def _dpll(
+        self, clauses: List[List[int]], assignment: Dict[int, bool]
+    ) -> Optional[Dict[int, bool]]:
+        assignment = dict(assignment)
+        while True:
+            status, clauses = self._propagate(clauses, assignment)
+            if status is False:
+                return None
+            if not clauses:
+                return assignment
+            literal = self._choose_literal(clauses)
+            for value in (literal, -literal):
+                branch_assignment = dict(assignment)
+                try:
+                    self._assign_literal(branch_assignment, value)
+                except Unsatisfiable:
+                    continue
+                branch_clauses = [list(c) for c in clauses]
+                result = self._dpll(branch_clauses, branch_assignment)
+                if result is not None:
+                    return result
+            return None
+
+    def _propagate(
+        self, clauses: List[List[int]], assignment: Dict[int, bool]
+    ):
+        """Simplify clauses under the assignment and run unit propagation.
+
+        Returns ``(False, _)`` on conflict, otherwise ``(True, remaining)``.
+        """
+        changed = True
+        while changed:
+            changed = False
+            remaining: List[List[int]] = []
+            for clause in clauses:
+                simplified: List[int] = []
+                satisfied = False
+                for literal in clause:
+                    variable, wanted = abs(literal), literal > 0
+                    if variable in assignment:
+                        if assignment[variable] == wanted:
+                            satisfied = True
+                            break
+                    else:
+                        simplified.append(literal)
+                if satisfied:
+                    continue
+                if not simplified:
+                    return False, clauses
+                if len(simplified) == 1:
+                    try:
+                        self._assign_literal(assignment, simplified[0])
+                    except Unsatisfiable:
+                        return False, clauses
+                    changed = True
+                else:
+                    remaining.append(simplified)
+            clauses = remaining
+        return True, clauses
+
+    @staticmethod
+    def _choose_literal(clauses: List[List[int]]) -> int:
+        """Pick the literal with the highest occurrence count."""
+        counts: Dict[int, int] = {}
+        for clause in clauses:
+            for literal in clause:
+                counts[literal] = counts.get(literal, 0) + 1
+        return max(counts, key=counts.get)
+
+
+def solve_clauses(
+    clauses: Iterable[Iterable[int]], assumptions: Sequence[int] = ()
+) -> SatResult:
+    """One-shot convenience wrapper around :class:`SatSolver`."""
+    solver = SatSolver()
+    solver.add_clauses(clauses)
+    return solver.solve(assumptions)

@@ -1,0 +1,197 @@
+"""Element-wise elimination of finite-set constraints.
+
+The paper's refinement logic uses sets (via the theory of arrays in Z3) for
+measures such as ``elems`` and ``keys``.  This module compiles set atoms away
+before the lazy SMT loop runs:
+
+* the *universe* of relevant elements is the set of element terms named in
+  the query plus one fresh witness per negative set atom;
+* positive equalities / inclusions are expanded into membership constraints
+  over the universe;
+* negative equalities / inclusions are expanded using their witness element
+  (which makes them exact);
+* membership in an *uninterpreted* set term (a set-sorted variable or measure
+  application) becomes an uninterpreted boolean application ``mem(e, S)``,
+  so congruence closure supplies functional consistency.
+
+For the operator set used by the refinement logic (union, intersection,
+difference, literals, ``in``, subset, equality — no complement and no
+cardinality) this reduction is satisfiability-preserving: base sets in a
+countermodel can always be shrunk to contain only named elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..logic import ops
+from ..logic.formulas import (
+    App,
+    Binary,
+    BinaryOp,
+    Formula,
+    Ite,
+    SetLit,
+    Unary,
+    UnaryOp,
+    Var,
+)
+from ..logic.sorts import SetSort, Sort
+from ..logic.transform import subterms
+
+#: Name of the uninterpreted membership predicate introduced by the encoding.
+MEMBERSHIP_FUNC = "__mem"
+
+#: Prefix of fresh witness element variables.
+WITNESS_PREFIX = "__wit"
+
+
+@dataclass
+class SetEncoder:
+    """Stateful encoder; one instance per SMT query."""
+
+    _universe: List[Formula] = field(default_factory=list)
+    _witness_count: int = 0
+
+    def encode(self, formula: Formula) -> Formula:
+        """Eliminate all set atoms from a formula in negation normal form."""
+        self._universe = self._collect_elements(formula)
+        return self._rewrite(formula)
+
+    # -- universe construction --------------------------------------------
+
+    def _collect_elements(self, formula: Formula) -> List[Formula]:
+        elements: List[Formula] = []
+        seen = set()
+
+        def add(term: Formula) -> None:
+            key = repr(term)
+            if key not in seen:
+                seen.add(key)
+                elements.append(term)
+
+        for node in subterms(formula):
+            if isinstance(node, SetLit):
+                for element in node.elements:
+                    add(element)
+            elif isinstance(node, Binary) and node.op is BinaryOp.MEMBER:
+                add(node.lhs)
+        return elements
+
+    def _fresh_witness(self, sort: Sort) -> Var:
+        self._witness_count += 1
+        return Var(f"{WITNESS_PREFIX}{self._witness_count}", sort)
+
+    # -- rewriting ----------------------------------------------------------
+
+    def _rewrite(self, formula: Formula) -> Formula:
+        if isinstance(formula, Binary):
+            op = formula.op
+            if op in (BinaryOp.AND, BinaryOp.OR, BinaryOp.IMPLIES, BinaryOp.IFF):
+                return Binary(op, self._rewrite(formula.lhs), self._rewrite(formula.rhs))
+            if op is BinaryOp.MEMBER:
+                return self._membership(formula.lhs, formula.rhs)
+            if op is BinaryOp.SUBSET:
+                return self._subset(formula.lhs, formula.rhs, positive=True)
+            if op in (BinaryOp.EQ, BinaryOp.NEQ) and isinstance(formula.lhs.sort, SetSort):
+                positive = op is BinaryOp.EQ
+                if positive:
+                    return self._set_equality(formula.lhs, formula.rhs, positive=True)
+                return self._set_equality(formula.lhs, formula.rhs, positive=False)
+            return formula
+        if isinstance(formula, Unary) and formula.op is UnaryOp.NOT:
+            inner = formula.arg
+            if isinstance(inner, Binary):
+                if inner.op is BinaryOp.MEMBER:
+                    return ops.not_(self._membership(inner.lhs, inner.rhs))
+                if inner.op is BinaryOp.SUBSET:
+                    return self._subset(inner.lhs, inner.rhs, positive=False)
+                if inner.op is BinaryOp.EQ and isinstance(inner.lhs.sort, SetSort):
+                    return self._set_equality(inner.lhs, inner.rhs, positive=False)
+                if inner.op is BinaryOp.NEQ and isinstance(inner.lhs.sort, SetSort):
+                    return self._set_equality(inner.lhs, inner.rhs, positive=True)
+            return ops.not_(self._rewrite(inner))
+        if isinstance(formula, Ite):
+            return Ite(
+                self._rewrite(formula.cond),
+                self._rewrite(formula.then_),
+                self._rewrite(formula.else_),
+            )
+        return formula
+
+    # -- atom encodings -----------------------------------------------------
+
+    def _membership(self, element: Formula, set_term: Formula) -> Formula:
+        """``element in set_term`` expanded structurally."""
+        if isinstance(set_term, SetLit):
+            return ops.disj(ops.eq(element, member) for member in set_term.elements)
+        if isinstance(set_term, Binary):
+            if set_term.op is BinaryOp.UNION:
+                return ops.or_(
+                    self._membership(element, set_term.lhs),
+                    self._membership(element, set_term.rhs),
+                )
+            if set_term.op is BinaryOp.INTERSECT:
+                return ops.and_(
+                    self._membership(element, set_term.lhs),
+                    self._membership(element, set_term.rhs),
+                )
+            if set_term.op is BinaryOp.DIFF:
+                return ops.and_(
+                    self._membership(element, set_term.lhs),
+                    ops.not_(self._membership(element, set_term.rhs)),
+                )
+        if isinstance(set_term, Ite):
+            return ops.ite(
+                self._rewrite(set_term.cond),
+                self._membership(element, set_term.then_),
+                self._membership(element, set_term.else_),
+            )
+        # Uninterpreted set term (variable or measure application).
+        from ..logic.sorts import BOOL
+
+        return App(MEMBERSHIP_FUNC, (element, set_term), BOOL)
+
+    def _element_sort(self, set_term: Formula) -> Sort:
+        sort = set_term.sort
+        if isinstance(sort, SetSort):
+            return sort.element
+        raise TypeError(f"not a set-sorted term: {set_term!r}")
+
+    def _set_equality(self, lhs: Formula, rhs: Formula, positive: bool) -> Formula:
+        if positive:
+            return ops.conj(
+                ops.iff(self._membership(e, lhs), self._membership(e, rhs))
+                for e in self._universe
+            )
+        witness = self._fresh_witness(self._element_sort(lhs))
+        return ops.not_(
+            ops.iff(self._membership(witness, lhs), self._membership(witness, rhs))
+        )
+
+    def _subset(self, lhs: Formula, rhs: Formula, positive: bool) -> Formula:
+        if positive:
+            return ops.conj(
+                ops.implies(self._membership(e, lhs), self._membership(e, rhs))
+                for e in self._universe
+            )
+        witness = self._fresh_witness(self._element_sort(lhs))
+        return ops.and_(
+            self._membership(witness, lhs), ops.not_(self._membership(witness, rhs))
+        )
+
+
+def eliminate_sets(formula: Formula) -> Formula:
+    """Eliminate set atoms from a formula in negation normal form."""
+    return SetEncoder().encode(formula)
+
+
+def mentions_sets(formula: Formula) -> bool:
+    """Does the formula contain any set-sorted subterm or set predicate?"""
+    for node in subterms(formula):
+        if isinstance(node, SetLit) or isinstance(node.sort, SetSort):
+            return True
+        if isinstance(node, Binary) and node.op in (BinaryOp.MEMBER, BinaryOp.SUBSET):
+            return True
+    return False

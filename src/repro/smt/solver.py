@@ -1,0 +1,255 @@
+"""The lazy DPLL(T) satisfiability solver.
+
+This is the replacement for Z3 used by the original Synquid: a propositional
+SAT core explores the boolean structure of the query, and every complete
+assignment is checked against the combined EUF + LIA theory solver.
+Conflicting assignments are generalized by deletion-based shrinking and
+blocked, until either a theory-consistent assignment is found (SAT) or the
+propositional abstraction is exhausted (UNSAT).
+
+Pipeline (see :meth:`SmtSolver.is_satisfiable`):
+
+1. boolean equalities are rewritten to ``iff``;
+2. if-then-else terms are lifted into fresh definitional variables;
+3. the formula is put into negation normal form;
+4. finite-set atoms are compiled away (``repro.smt.sets``);
+5. the result is Tseitin-encoded and handed to the lazy loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..logic import ops
+from ..logic.formulas import (
+    App,
+    Binary,
+    BinaryOp,
+    BoolLit,
+    Formula,
+    Ite,
+    SetLit,
+    Unary,
+    UnaryOp,
+    Unknown,
+    Var,
+)
+from ..logic.simplify import negation_normal_form, simplify
+from ..logic.sorts import BOOL, BoolSort
+from ..logic.transform import transform
+from .sat import SatSolver
+from .sets import eliminate_sets, mentions_sets
+from .theory import Literal, TheoryChecker
+
+
+@dataclass
+class SolverStatistics:
+    """Counters exposed for the evaluation harness."""
+
+    sat_queries: int = 0
+    validity_queries: int = 0
+    theory_checks: int = 0
+    cache_hits: int = 0
+
+
+class SmtSolver:
+    """Satisfiability and validity of quantifier-free refinement formulas."""
+
+    #: Upper bound on lazy refinement iterations per query (safety net).
+    MAX_ITERATIONS = 20_000
+
+    def __init__(self) -> None:
+        self._theory = TheoryChecker()
+        self._cache: Dict[str, bool] = {}
+        self.statistics = SolverStatistics()
+
+    # -- public API ----------------------------------------------------------
+
+    def is_valid(self, formula: Formula) -> bool:
+        """Is ``formula`` true in every model?"""
+        self.statistics.validity_queries += 1
+        return not self.is_satisfiable(ops.not_(formula))
+
+    def is_satisfiable(self, formula: Formula) -> bool:
+        """Does ``formula`` have a model?"""
+        key = repr(formula)
+        if key in self._cache:
+            self.statistics.cache_hits += 1
+            return self._cache[key]
+        self.statistics.sat_queries += 1
+        result = self._solve(formula)
+        self._cache[key] = result
+        return result
+
+    def clear_cache(self) -> None:
+        """Drop memoized query results (used between benchmark runs)."""
+        self._cache.clear()
+
+    # -- preprocessing -------------------------------------------------------
+
+    def _preprocess(self, formula: Formula) -> Formula:
+        formula = simplify(formula)
+        formula = _booleanize_equalities(formula)
+        formula, definitions = _lift_ite(formula)
+        if definitions:
+            formula = ops.and_(formula, ops.conj(definitions))
+        formula = negation_normal_form(formula)
+        if mentions_sets(formula):
+            formula = eliminate_sets(formula)
+            formula = negation_normal_form(formula)
+        return simplify(formula)
+
+    # -- the lazy loop -------------------------------------------------------
+
+    def _solve(self, formula: Formula) -> bool:
+        formula = self._preprocess(formula)
+        if isinstance(formula, BoolLit):
+            return formula.value
+
+        encoder = _TseitinEncoder()
+        root = encoder.encode(formula)
+        sat = SatSolver()
+        sat.add_clauses(encoder.clauses)
+        sat.add_clause([root])
+
+        for _ in range(self.MAX_ITERATIONS):
+            result = sat.solve()
+            if not result.satisfiable:
+                return False
+            literals = encoder.theory_literals(result.model)
+            self.statistics.theory_checks += 1
+            if self._theory.is_consistent(literals):
+                return True
+            conflict = self._shrink_conflict(literals)
+            blocking = [
+                -encoder.atom_variable(lit.atom) if lit.polarity
+                else encoder.atom_variable(lit.atom)
+                for lit in conflict
+            ]
+            sat.add_clause(blocking)
+        raise RuntimeError("SMT solver exceeded its iteration budget")
+
+    def _shrink_conflict(self, literals: List[Literal]) -> List[Literal]:
+        """Deletion-based minimization of an inconsistent literal set."""
+        current = list(literals)
+        index = 0
+        while index < len(current):
+            candidate = current[:index] + current[index + 1:]
+            if candidate and not self._theory.is_consistent(candidate):
+                current = candidate
+            else:
+                index += 1
+        return current
+
+
+# ---------------------------------------------------------------------------
+# preprocessing helpers
+# ---------------------------------------------------------------------------
+
+def _booleanize_equalities(formula: Formula) -> Formula:
+    """Rewrite ``a == b`` / ``a != b`` over booleans into (negated) ``iff``."""
+
+    def rewrite(node: Formula) -> Formula:
+        if isinstance(node, Binary) and node.op in (BinaryOp.EQ, BinaryOp.NEQ):
+            if isinstance(node.lhs.sort, BoolSort):
+                equivalence = ops.iff(node.lhs, node.rhs)
+                return equivalence if node.op is BinaryOp.EQ else ops.not_(equivalence)
+        return node
+
+    return transform(formula, rewrite)
+
+
+_ite_counter = itertools.count()
+
+
+def _lift_ite(formula: Formula) -> Tuple[Formula, List[Formula]]:
+    """Replace non-boolean ``ite`` terms by fresh variables with definitional
+    constraints ``cond ==> v == then`` and ``!cond ==> v == else``."""
+    definitions: List[Formula] = []
+
+    def rewrite(node: Formula) -> Formula:
+        if isinstance(node, Ite) and not isinstance(node.sort, BoolSort):
+            fresh = Var(f"__ite{next(_ite_counter)}", node.sort)
+            definitions.append(ops.implies(node.cond, ops.eq(fresh, node.then_)))
+            definitions.append(ops.implies(ops.not_(node.cond), ops.eq(fresh, node.else_)))
+            return fresh
+        return node
+
+    rewritten = transform(formula, rewrite)
+    return rewritten, definitions
+
+
+# ---------------------------------------------------------------------------
+# Tseitin encoding
+# ---------------------------------------------------------------------------
+
+class _TseitinEncoder:
+    """Encodes an NNF formula into CNF over fresh propositional variables."""
+
+    def __init__(self) -> None:
+        self.clauses: List[List[int]] = []
+        self._atom_vars: Dict[str, int] = {}
+        self._atoms: Dict[str, Formula] = {}
+        self._next_var = 1
+
+    def _fresh(self) -> int:
+        variable = self._next_var
+        self._next_var += 1
+        return variable
+
+    def atom_variable(self, atom: Formula) -> int:
+        """The propositional variable standing for a theory atom."""
+        key = repr(atom)
+        if key not in self._atom_vars:
+            self._atom_vars[key] = self._fresh()
+            self._atoms[key] = atom
+        return self._atom_vars[key]
+
+    def encode(self, formula: Formula) -> int:
+        """Encode a formula; returns the literal equivalent to the formula."""
+        if isinstance(formula, BoolLit):
+            variable = self._fresh()
+            self.clauses.append([variable] if formula.value else [-variable])
+            return variable
+        if isinstance(formula, Unary) and formula.op is UnaryOp.NOT:
+            return -self.encode(formula.arg)
+        if isinstance(formula, Binary) and formula.op is BinaryOp.AND:
+            lhs, rhs = self.encode(formula.lhs), self.encode(formula.rhs)
+            output = self._fresh()
+            self.clauses.append([-output, lhs])
+            self.clauses.append([-output, rhs])
+            self.clauses.append([output, -lhs, -rhs])
+            return output
+        if isinstance(formula, Binary) and formula.op is BinaryOp.OR:
+            lhs, rhs = self.encode(formula.lhs), self.encode(formula.rhs)
+            output = self._fresh()
+            self.clauses.append([-output, lhs, rhs])
+            self.clauses.append([output, -lhs])
+            self.clauses.append([output, -rhs])
+            return output
+        if isinstance(formula, Binary) and formula.op is BinaryOp.IMPLIES:
+            return self.encode(ops.or_(ops.not_(formula.lhs), formula.rhs))
+        if isinstance(formula, Binary) and formula.op is BinaryOp.IFF:
+            both = ops.and_(
+                ops.implies(formula.lhs, formula.rhs),
+                ops.implies(formula.rhs, formula.lhs),
+            )
+            return self.encode(both)
+        if isinstance(formula, Ite) and isinstance(formula.sort, BoolSort):
+            expanded = ops.or_(
+                ops.and_(formula.cond, formula.then_),
+                ops.and_(ops.not_(formula.cond), formula.else_),
+            )
+            return self.encode(expanded)
+        # A theory atom.
+        return self.atom_variable(formula)
+
+    def theory_literals(self, model: Dict[int, bool]) -> List[Literal]:
+        """The theory literals implied by a propositional model."""
+        literals: List[Literal] = []
+        for key, variable in self._atom_vars.items():
+            if variable in model:
+                literals.append(Literal(self._atoms[key], model[variable]))
+        return literals

@@ -1,0 +1,212 @@
+"""Conjunction-of-literals consistency checking (the "T" in DPLL(T)).
+
+Given the theory literals of a complete propositional assignment, this
+module decides whether their conjunction is consistent in the combined
+theory of equality with uninterpreted functions (measures) and linear
+integer arithmetic.  The combination is a pragmatic Nelson–Oppen style
+loop: congruence closure runs first, equalities it entails between
+integer-sorted terms are propagated into the arithmetic solver, and the
+arithmetic solver then decides feasibility.
+
+The propagation is one-directional (EUF -> LIA).  Missing the reverse
+direction can only make the checker *fail to detect* a conflict, i.e.
+report "consistent" too often; as discussed in ``repro.smt.lia`` this keeps
+refinement-type checking sound (it can only reject more programs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..logic.formulas import (
+    App,
+    Binary,
+    BinaryOp,
+    BoolLit,
+    COMPARISON_OPS,
+    Formula,
+    IntLit,
+    Ite,
+    SetLit,
+    Unary,
+    UnaryOp,
+    Var,
+)
+from ..logic.sorts import BOOL, INT, IntSort, SetSort, Sort
+from . import lia
+from .euf import CongruenceClosure, TermBank
+from .lia import Constraint, LinearExpr, LiaSolver, Relation
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A theory literal: an atom together with its asserted polarity."""
+
+    atom: Formula
+    polarity: bool
+
+
+class TheoryConflict(Exception):
+    """Raised internally when a conflict is found while asserting literals."""
+
+
+class TheoryChecker:
+    """Checks consistency of a conjunction of theory literals."""
+
+    def __init__(self) -> None:
+        self._lia = LiaSolver()
+
+    def is_consistent(self, literals: Sequence[Literal]) -> bool:
+        """Is the conjunction of the given literals satisfiable?"""
+        try:
+            return self._check(literals)
+        except TheoryConflict:
+            return False
+
+    # -- internals ---------------------------------------------------------
+
+    def _check(self, literals: Sequence[Literal]) -> bool:
+        bank = TermBank()
+        closure = CongruenceClosure(bank)
+        true_id = bank.constant("__true")
+        false_id = bank.constant("__false")
+        closure.assert_distinct(true_id, false_id)
+
+        term_ids: Dict[str, int] = {}
+        int_terms: Dict[int, Formula] = {}
+        constraints: List[Constraint] = []
+
+        def intern(term: Formula) -> int:
+            """Intern a formula term for congruence closure purposes."""
+            key = repr(term)
+            if key in term_ids:
+                return term_ids[key]
+            if isinstance(term, Var):
+                term_id = bank.constant(f"var:{term.name}")
+            elif isinstance(term, IntLit):
+                term_id = bank.constant(f"int:{term.value}")
+            elif isinstance(term, BoolLit):
+                term_id = true_id if term.value else false_id
+            elif isinstance(term, App):
+                term_id = bank.apply(term.func, [intern(arg) for arg in term.args])
+            elif isinstance(term, Unary):
+                term_id = bank.apply(f"unary:{term.op.value}", [intern(term.arg)])
+            elif isinstance(term, Binary):
+                term_id = bank.apply(
+                    f"binary:{term.op.value}", [intern(term.lhs), intern(term.rhs)]
+                )
+            elif isinstance(term, Ite):
+                term_id = bank.apply(
+                    "ite",
+                    [intern(term.cond), intern(term.then_), intern(term.else_)],
+                )
+            elif isinstance(term, SetLit):
+                term_id = bank.apply(
+                    "setlit", [intern(element) for element in term.elements]
+                )
+            else:
+                term_id = bank.constant(f"opaque:{key}")
+            term_ids[key] = term_id
+            if isinstance(term.sort, IntSort):
+                int_terms.setdefault(term_id, term)
+            return term_id
+
+        def atom_variable(term: Formula) -> str:
+            """Arithmetic variable standing for a non-arithmetic integer term."""
+            term_id = intern(term)
+            int_terms.setdefault(term_id, term)
+            return f"t{term_id}"
+
+        def to_linear(term: Formula) -> LinearExpr:
+            """Translate an integer-sorted term into a linear expression."""
+            if isinstance(term, IntLit):
+                return LinearExpr.constant_expr(term.value)
+            if isinstance(term, Unary) and term.op is UnaryOp.NEG:
+                return to_linear(term.arg).scale(Fraction(-1))
+            if isinstance(term, Binary):
+                if term.op is BinaryOp.PLUS:
+                    return to_linear(term.lhs).add(to_linear(term.rhs))
+                if term.op is BinaryOp.MINUS:
+                    return to_linear(term.lhs).subtract(to_linear(term.rhs))
+                if term.op is BinaryOp.TIMES:
+                    if isinstance(term.lhs, IntLit):
+                        return to_linear(term.rhs).scale(Fraction(term.lhs.value))
+                    if isinstance(term.rhs, IntLit):
+                        return to_linear(term.lhs).scale(Fraction(term.rhs.value))
+                    # Non-linear product: treat the whole product as opaque.
+                    return LinearExpr.variable(atom_variable(term))
+            return LinearExpr.variable(atom_variable(term))
+
+        # -- assert each literal -------------------------------------------
+        for literal in literals:
+            atom, polarity = literal.atom, literal.polarity
+            if isinstance(atom, BoolLit):
+                if atom.value != polarity:
+                    raise TheoryConflict()
+                continue
+            if isinstance(atom, (Var, App)) and atom.sort == BOOL:
+                closure.assert_equal(intern(atom), true_id if polarity else false_id)
+                continue
+            if isinstance(atom, Binary) and atom.op in COMPARISON_OPS:
+                lhs, rhs = to_linear(atom.lhs), to_linear(atom.rhs)
+                constraints.append(self._comparison(atom.op, lhs, rhs, polarity))
+                continue
+            if isinstance(atom, Binary) and atom.op in (BinaryOp.EQ, BinaryOp.NEQ):
+                is_equality = (atom.op is BinaryOp.EQ) == polarity
+                lhs_id, rhs_id = intern(atom.lhs), intern(atom.rhs)
+                if is_equality:
+                    closure.assert_equal(lhs_id, rhs_id)
+                else:
+                    closure.assert_distinct(lhs_id, rhs_id)
+                if isinstance(atom.lhs.sort, IntSort):
+                    lhs, rhs = to_linear(atom.lhs), to_linear(atom.rhs)
+                    relation = Relation.EQ if is_equality else Relation.NEQ
+                    constraints.append(Constraint(lhs.subtract(rhs), relation))
+                continue
+            # Anything else (set atoms that escaped the encoder, etc.) is
+            # treated as unconstrained — the safe, conservative answer.
+            continue
+
+        if not closure.is_consistent():
+            return False
+
+        # -- propagate entailed equalities between integer terms ------------
+        tracked = sorted(int_terms)
+        for class_root, members in closure.classes().items():
+            class_members = [t for t in tracked if t in members]
+            for first, second in zip(class_members, class_members[1:]):
+                lhs = self._term_expr(int_terms[first], first)
+                rhs = self._term_expr(int_terms[second], second)
+                constraints.append(Constraint(lhs.subtract(rhs), Relation.EQ))
+
+        return self._lia.is_feasible(constraints)
+
+    @staticmethod
+    def _term_expr(term: Formula, term_id: int) -> LinearExpr:
+        """Linear expression for a tracked integer term."""
+        if isinstance(term, IntLit):
+            return LinearExpr.constant_expr(term.value)
+        return LinearExpr.variable(f"t{term_id}")
+
+    @staticmethod
+    def _comparison(
+        op: BinaryOp, lhs: LinearExpr, rhs: LinearExpr, polarity: bool
+    ) -> Constraint:
+        """Translate a (possibly negated) integer comparison."""
+        if not polarity:
+            negated = {
+                BinaryOp.LT: BinaryOp.GE,
+                BinaryOp.LE: BinaryOp.GT,
+                BinaryOp.GT: BinaryOp.LE,
+                BinaryOp.GE: BinaryOp.LT,
+            }
+            op = negated[op]
+        if op is BinaryOp.LE:
+            return lia.le(lhs, rhs)
+        if op is BinaryOp.LT:
+            return lia.lt(lhs, rhs)
+        if op is BinaryOp.GE:
+            return lia.le(rhs, lhs)
+        return lia.lt(rhs, lhs)
