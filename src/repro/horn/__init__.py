@@ -1,0 +1,26 @@
+"""Horn-constraint solving over predicate unknowns (Sec. 5 of the paper).
+
+The third layer of the reproduction: constraints (``premises ==>
+conclusion`` with :class:`~repro.logic.formulas.Unknown` nodes on either
+side), qualifier spaces per unknown, and the greatest-fixpoint
+:class:`HornSolver` that weakens candidate valuations until every
+constraint is valid, issuing its validity queries through the incremental
+SMT backend.
+"""
+
+from .constraints import HornConstraint, constraint
+from .solver import Assignment, HornSolution, HornSolver, HornStatistics
+from .spaces import QualifierSpace, as_space_map, build_space, build_spaces
+
+__all__ = [
+    "Assignment",
+    "HornConstraint",
+    "HornSolution",
+    "HornSolver",
+    "HornStatistics",
+    "QualifierSpace",
+    "as_space_map",
+    "build_space",
+    "build_spaces",
+    "constraint",
+]

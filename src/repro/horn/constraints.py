@@ -1,0 +1,78 @@
+"""Horn constraints over predicate unknowns (Sec. 5 of the paper).
+
+A Horn constraint is an implication ``p1 && ... && pk ==> c`` whose premises
+may mention predicate unknowns anywhere and whose conclusion is either a
+single predicate unknown (a *weakening* constraint — solving it may shrink
+the unknown's valuation) or an unknown-free formula (a *definite*
+constraint — it can only be checked, never repaired by weakening, because
+weakening the premises proves less).
+
+The type checker emits such constraints while walking the program (liquid
+type inference reduces subtyping between refinement types to exactly this
+shape); the Horn solver finds valuations for the unknowns that make every
+constraint valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from ..logic.formulas import Formula, Unknown
+from ..logic.transform import unknowns as formula_unknowns
+
+
+@dataclass(frozen=True)
+class HornConstraint:
+    """``premises ==> conclusion`` with unknowns on either side.
+
+    ``label`` is free-form provenance (e.g. the program location that
+    produced the constraint) surfaced in diagnostics.
+    """
+
+    premises: Tuple[Formula, ...]
+    conclusion: Formula
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.conclusion, Unknown) and formula_unknowns(self.conclusion):
+            raise ValueError(
+                "conclusion must be a single predicate unknown or unknown-free, "
+                f"got: {self.conclusion!r}"
+            )
+
+    # -- structure -----------------------------------------------------------
+
+    def conclusion_unknown(self) -> Optional[Unknown]:
+        """The conclusion's predicate unknown, if this is a weakening
+        constraint."""
+        return self.conclusion if isinstance(self.conclusion, Unknown) else None
+
+    def is_definite(self) -> bool:
+        """Is the conclusion unknown-free?"""
+        return not isinstance(self.conclusion, Unknown)
+
+    def premise_unknowns(self) -> FrozenSet[str]:
+        """Names of unknowns occurring in the premises."""
+        names = set()
+        for premise in self.premises:
+            names |= formula_unknowns(premise)
+        return frozenset(names)
+
+    def unknowns(self) -> FrozenSet[str]:
+        """Names of all unknowns occurring in the constraint."""
+        names = set(self.premise_unknowns())
+        names |= formula_unknowns(self.conclusion)
+        return frozenset(names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lhs = " && ".join(repr(p) for p in self.premises) or "True"
+        tag = f"  [{self.label}]" if self.label else ""
+        return f"{lhs} ==> {self.conclusion!r}{tag}"
+
+
+def constraint(
+    premises: Iterable[Formula], conclusion: Formula, label: str = ""
+) -> HornConstraint:
+    """Convenience constructor accepting any iterable of premises."""
+    return HornConstraint(tuple(premises), conclusion, label)

@@ -1,0 +1,230 @@
+"""The greatest-fixpoint Horn-constraint solver (MUSFix-style, Sec. 5).
+
+The solver maintains a candidate assignment ``L`` mapping each predicate
+unknown to a subset of its qualifier space, starting from the *strongest*
+candidate ``L[P] = Q_P``.  One round visits every weakening constraint
+``lhs ==> P[sigma]`` and prunes from ``L[P]`` the qualifiers that do not
+follow from the premises under the current assignment; because pruning one
+unknown weakens the premises of constraints that mention it, rounds repeat
+until a fixpoint.  The result is the greatest fixpoint — the strongest
+valuation satisfying all weakening constraints — and the remaining
+*definite* constraints (concrete conclusions) are then checked against it:
+if one fails there, no assignment in the qualifier space can succeed (the
+premises only get weaker from here), and the system is unsolvable.
+
+Pruning is unsat-core style: a constraint's full valuation is first checked
+in one validity query; only when that fails does the solver descend to
+per-qualifier checks to identify exactly the conjuncts to drop.  All
+validity checks are issued through an incremental
+:class:`~repro.smt.interface.SolverBackend` — the premises of a constraint
+are asserted once per round and every per-qualifier probe runs in a
+sub-scope on top of them, so unchanged premises are never re-encoded (their
+selector literals and CNF are reused, per-round and across rounds).
+
+In addition to the strongest solution the solver can greedily minimize it
+into a locally *weakest* one (a minimal subset of each valuation keeping
+every constraint valid), which is what the paper reports for inferred
+preconditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..logic import ops
+from ..logic.formulas import Formula, Unknown
+from ..logic.substitution import apply_assignment, substitute
+from ..smt.interface import SolverBackend
+from ..smt.sets import mentions_sets
+from ..smt.solver import IncrementalSolver
+from .constraints import HornConstraint
+from .spaces import QualifierSpace, SpacesLike, as_space_map
+
+#: A candidate valuation: unknown name -> conjunction of qualifiers.
+Assignment = Dict[str, Tuple[Formula, ...]]
+
+
+@dataclass
+class HornStatistics:
+    """Counters describing one solver's work."""
+
+    validity_checks: int = 0
+    fixpoint_rounds: int = 0
+    weakenings: int = 0
+    pruned_qualifiers: int = 0
+
+
+@dataclass
+class HornSolution:
+    """Outcome of :meth:`HornSolver.solve`.
+
+    ``assignment`` is the strongest valuation found (the greatest fixpoint
+    of the weakening constraints); when ``solved`` is false, ``failed``
+    names a definite constraint invalid under it — i.e. invalid under every
+    assignment in the qualifier space.  ``weakest`` is the greedily
+    minimized valuation, present only when minimization was requested.
+    """
+
+    solved: bool
+    assignment: Assignment
+    weakest: Optional[Assignment] = None
+    failed: Optional[HornConstraint] = None
+
+    def formula_for(self, unknown: str) -> Formula:
+        """The strongest valuation of ``unknown`` as one conjunction."""
+        return ops.conj(self.assignment.get(unknown, ()))
+
+
+class HornSolver:
+    """Solves systems of Horn constraints over predicate unknowns."""
+
+    def __init__(self, backend: Optional[SolverBackend] = None) -> None:
+        self._backend = backend if backend is not None else IncrementalSolver()
+        self.statistics = HornStatistics()
+
+    @property
+    def backend(self) -> SolverBackend:
+        """The incremental backend issuing this solver's validity checks."""
+        return self._backend
+
+    # -- public API ----------------------------------------------------------
+
+    def solve(
+        self,
+        constraints: Sequence[HornConstraint],
+        spaces: SpacesLike,
+        minimize: bool = False,
+    ) -> HornSolution:
+        """Find the strongest assignment making every constraint valid.
+
+        Unknowns that appear in constraints but have no qualifier space get
+        the empty valuation ``True`` (they cannot constrain anything).
+        """
+        space_map = as_space_map(spaces)
+        assignment = self._initial_assignment(constraints, space_map)
+        weakening = [c for c in constraints if not c.is_definite()]
+        definite = [c for c in constraints if c.is_definite()]
+
+        changed = True
+        while changed:
+            changed = False
+            self.statistics.fixpoint_rounds += 1
+            for constr in weakening:
+                if self._weaken(constr, assignment):
+                    changed = True
+
+        solution = HornSolution(True, dict(assignment))
+        for constr in definite:
+            if not self._constraint_valid(constr, assignment):
+                solution.solved = False
+                solution.failed = constr
+                return solution
+
+        if minimize:
+            solution.weakest = self._minimize(constraints, assignment)
+        return solution
+
+    # -- fixpoint internals --------------------------------------------------
+
+    @staticmethod
+    def _initial_assignment(
+        constraints: Sequence[HornConstraint],
+        space_map: Dict[str, QualifierSpace],
+    ) -> Assignment:
+        names = set()
+        for constr in constraints:
+            names |= constr.unknowns()
+        return {
+            name: space_map[name].qualifiers if name in space_map else ()
+            for name in names
+        }
+
+    def _weaken(self, constr: HornConstraint, assignment: Assignment) -> bool:
+        """Prune the conclusion unknown's valuation; True if it shrank."""
+        target = constr.conclusion_unknown()
+        assert target is not None
+        current = assignment[target.name]
+        if not current:
+            return False
+        premises = [apply_assignment(p, assignment) for p in constr.premises]
+        pending = dict(target.substitution)
+        goals = [substitute(q, pending) if pending else q for q in current]
+
+        # Fast path: is the whole current valuation already entailed?
+        self.statistics.validity_checks += 1
+        if self._backend.is_valid_implication(premises, ops.conj(goals)):
+            return False
+
+        # Core extraction: probe each conjunct.  Set-sensitive constraints
+        # go through is_valid_implication per qualifier (the backend conjoins
+        # them so set elimination sees one universe); everything else keeps
+        # the premises asserted (and encoded) once for the whole sweep.
+        kept: List[Formula] = []
+        if any(mentions_sets(p) for p in premises) or any(
+            mentions_sets(g) for g in goals
+        ):
+            for qualifier, goal in zip(current, goals):
+                self.statistics.validity_checks += 1
+                if self._backend.is_valid_implication(premises, goal):
+                    kept.append(qualifier)
+        else:
+            self._backend.push()
+            try:
+                for premise in premises:
+                    self._backend.assert_(premise)
+                for qualifier, goal in zip(current, goals):
+                    self._backend.push()
+                    try:
+                        self._backend.assert_(ops.not_(goal))
+                        self.statistics.validity_checks += 1
+                        if not self._backend.check():
+                            kept.append(qualifier)
+                    finally:
+                        self._backend.pop()
+            finally:
+                self._backend.pop()
+
+        dropped = len(current) - len(kept)
+        if dropped:
+            assignment[target.name] = tuple(kept)
+            self.statistics.weakenings += 1
+            self.statistics.pruned_qualifiers += dropped
+        return dropped > 0
+
+    def _constraint_valid(
+        self, constr: HornConstraint, assignment: Assignment
+    ) -> bool:
+        premises = [apply_assignment(p, assignment) for p in constr.premises]
+        conclusion = apply_assignment(constr.conclusion, assignment)
+        self.statistics.validity_checks += 1
+        return self._backend.is_valid_implication(premises, conclusion)
+
+    # -- weakest-solution minimization ---------------------------------------
+
+    def _minimize(
+        self, constraints: Sequence[HornConstraint], assignment: Assignment
+    ) -> Assignment:
+        """Greedily drop qualifiers while every constraint stays valid.
+
+        Dropping a qualifier from ``L[P]`` keeps constraints with ``P`` in
+        the conclusion valid (fewer conjuncts to prove) but may break
+        constraints with ``P`` in the premises, so each tentative drop is
+        re-validated against the constraints mentioning ``P``.
+        """
+        weakest: Dict[str, List[Formula]] = {
+            name: list(valuation) for name, valuation in assignment.items()
+        }
+        by_premise: Dict[str, List[HornConstraint]] = {name: [] for name in weakest}
+        for constr in constraints:
+            for name in constr.premise_unknowns():
+                by_premise.setdefault(name, []).append(constr)
+
+        for name in sorted(weakest):
+            affected = by_premise.get(name, ())
+            for qualifier in list(weakest[name]):
+                weakest[name].remove(qualifier)
+                trial = {n: tuple(v) for n, v in weakest.items()}
+                if not all(self._constraint_valid(c, trial) for c in affected):
+                    weakest[name].append(qualifier)
+        return {name: tuple(valuation) for name, valuation in weakest.items()}

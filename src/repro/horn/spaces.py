@@ -1,0 +1,73 @@
+"""Qualifier spaces: the search space of each predicate unknown.
+
+Following Sec. 2 and Sec. 3.6 of the paper, the space of liquid formulas
+for an unknown ``P`` is the power set of ``Q_P`` — the atomic formulas
+obtained by instantiating the qualifiers' placeholders with the variables
+(and distinguished terms such as literals or the value variable ``nu``)
+that were in scope where ``P`` was created.  A valuation of ``P`` is a
+subset of ``Q_P``, read as the conjunction of its members; the greatest
+valuation ``Q_P`` itself is the *strongest* candidate the fixpoint
+iteration starts from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+from ..logic.formulas import Formula, value_var
+from ..logic.qualifiers import Qualifier, instantiate_all
+from ..logic.sorts import Sort
+
+
+@dataclass(frozen=True)
+class QualifierSpace:
+    """The instantiated qualifier set ``Q_P`` of one predicate unknown."""
+
+    unknown: str
+    qualifiers: Tuple[Formula, ...]
+
+    def __len__(self) -> int:
+        return len(self.qualifiers)
+
+
+def build_space(
+    unknown: str,
+    qualifiers: Sequence[Qualifier],
+    candidates: Sequence[Formula],
+    value_sort: Optional[Sort] = None,
+) -> QualifierSpace:
+    """Instantiate ``qualifiers`` over the scope of ``unknown``.
+
+    ``candidates`` are the formulas allowed to fill placeholders — normally
+    the program variables in scope, optionally enriched with interesting
+    literals such as ``0``.  When ``value_sort`` is given, the value
+    variable ``nu`` at that sort joins the candidate pool, which is how
+    post-condition unknowns talk about the value being produced.
+    """
+    pool = list(candidates)
+    if value_sort is not None:
+        pool.append(value_var(value_sort))
+    return QualifierSpace(unknown, tuple(instantiate_all(qualifiers, pool)))
+
+
+SpacesLike = Union[Mapping[str, QualifierSpace], Iterable[QualifierSpace]]
+
+
+def as_space_map(spaces: SpacesLike) -> Dict[str, QualifierSpace]:
+    """Normalize a mapping or iterable of spaces into a name-keyed dict."""
+    if isinstance(spaces, Mapping):
+        return dict(spaces)
+    return {space.unknown: space for space in spaces}
+
+
+def build_spaces(
+    scopes: Mapping[str, Sequence[Formula]],
+    qualifiers: Sequence[Qualifier],
+    value_sort: Optional[Sort] = None,
+) -> Dict[str, QualifierSpace]:
+    """Build one space per unknown from a name -> scope-candidates map."""
+    return {
+        unknown: build_space(unknown, qualifiers, candidates, value_sort)
+        for unknown, candidates in scopes.items()
+    }

@@ -33,6 +33,7 @@ from .formulas import (
     Var,
 )
 from .sorts import BOOL, INT, SetSort, Sort, UninterpretedSort, VarSort
+from .substitution import substitute
 from .transform import subterms, transform
 
 #: Prefix of placeholder variable names inside qualifiers.
@@ -108,34 +109,25 @@ def instantiate_qualifier(
         matching = [c for c in candidates if sorts_compatible(c.sort, sort)]
         slots.append(matching)
     for choice in itertools.product(*slots):
-        if len({id(c) for c in choice}) < len(choice) and len(set(map(repr, choice))) < len(choice):
-            continue
+        if len(set(choice)) < len(choice):
+            continue  # skip trivially-reflexive instantiations like x <= x
         mapping = {
             name: value
             for (name, _), value in zip(qualifier.placeholders, choice)
         }
-        if len(set(map(repr, mapping.values()))) < len(mapping):
-            continue  # skip trivially-reflexive instantiations like x <= x
-
-        def replace(node: Formula) -> Formula:
-            if isinstance(node, Var) and node.name in mapping:
-                return mapping[node.name]
-            return node
-
-        yield transform(qualifier.formula, replace)
+        yield substitute(qualifier.formula, mapping)
 
 
 def instantiate_all(
     qualifiers: Sequence[Qualifier], candidates: Sequence[Formula]
 ) -> List[Formula]:
     """Union of all instantiations of all qualifiers, deduplicated."""
-    seen: Set[str] = set()
+    seen: Set[Formula] = set()
     result: List[Formula] = []
     for qualifier in qualifiers:
         for inst in instantiate_qualifier(qualifier, candidates):
-            key = repr(inst)
-            if key not in seen:
-                seen.add(key)
+            if inst not in seen:
+                seen.add(inst)
                 result.append(inst)
     return result
 
@@ -150,15 +142,14 @@ def extract_qualifiers(formulas: Iterable[Formula]) -> List[Qualifier]:
     """Abstract the atomic subformulas of the given refinements into
     qualifiers by replacing their variables with placeholders."""
     result: List[Qualifier] = []
-    seen: Set[str] = set()
+    seen: Set[Formula] = set()
     for formula in formulas:
         for atom in _atoms(formula):
             qualifier = _abstract_atom(atom)
             if qualifier is None:
                 continue
-            key = repr(qualifier.formula)
-            if key not in seen:
-                seen.add(key)
+            if qualifier.formula not in seen:
+                seen.add(qualifier.formula)
                 result.append(qualifier)
     return result
 

@@ -1,16 +1,33 @@
 """The SMT substrate: SAT core, EUF, LIA, set encoding, lazy DPLL(T)."""
 
 from .euf import CongruenceClosure, TermBank
-from .interface import default_solver, reset_default_solver, satisfiable, statistics, valid
+from .interface import (
+    SolverBackend,
+    default_solver,
+    reset_default_solver,
+    satisfiable,
+    statistics,
+    valid,
+)
 from .lia import Constraint, LiaSolver, LinearExpr, Relation
+from .names import FreshNames
 from .sat import SatResult, SatSolver, solve_clauses
 from .sets import eliminate_sets, mentions_sets
-from .solver import SmtSolver, SolverStatistics
+from .solver import (
+    DEFAULT_CACHE_SIZE,
+    IncrementalSolver,
+    SmtSolver,
+    SolverStatistics,
+    TseitinEncoder,
+)
 from .theory import Literal, TheoryChecker
 
 __all__ = [
     "CongruenceClosure",
     "Constraint",
+    "DEFAULT_CACHE_SIZE",
+    "FreshNames",
+    "IncrementalSolver",
     "LiaSolver",
     "LinearExpr",
     "Literal",
@@ -18,9 +35,11 @@ __all__ = [
     "SatResult",
     "SatSolver",
     "SmtSolver",
+    "SolverBackend",
     "SolverStatistics",
     "TermBank",
     "TheoryChecker",
+    "TseitinEncoder",
     "default_solver",
     "eliminate_sets",
     "mentions_sets",

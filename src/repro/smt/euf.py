@@ -63,6 +63,8 @@ class CongruenceClosure:
         self.bank = bank if bank is not None else TermBank()
         self._parent: Dict[int, int] = {}
         self._disequalities: List[Tuple[int, int]] = []
+        self._dirty = False
+        self._rebuilt_size = -1
 
     # -- union-find --------------------------------------------------------
 
@@ -78,6 +80,7 @@ class CongruenceClosure:
         root_a, root_b = self._find(a), self._find(b)
         if root_a != root_b:
             self._parent[root_a] = root_b
+            self._dirty = True
 
     # -- assertions ----------------------------------------------------------
 
@@ -94,14 +97,22 @@ class CongruenceClosure:
 
     def are_equal(self, a: int, b: int) -> bool:
         """Are the two terms known to be equal?"""
+        self._rebuild_congruence()
         return self._find(a) == self._find(b)
 
     def is_consistent(self) -> bool:
-        """Do the asserted disequalities hold under the closure?"""
+        """Do the asserted disequalities hold under the closure?
+
+        Terms may have been interned (e.g. while asserting a disequality)
+        after the last equality assertion, so congruence is re-established
+        before checking — the result must not depend on assertion order.
+        """
+        self._rebuild_congruence()
         return all(not self.are_equal(a, b) for a, b in self._disequalities)
 
     def entailed_equalities(self, term_ids: Sequence[int]) -> List[Tuple[int, int]]:
         """All pairs among ``term_ids`` that the closure proves equal."""
+        self._rebuild_congruence()
         pairs: List[Tuple[int, int]] = []
         for index, a in enumerate(term_ids):
             for b in term_ids[index + 1:]:
@@ -111,6 +122,7 @@ class CongruenceClosure:
 
     def classes(self) -> Dict[int, Set[int]]:
         """The current partition of all interned terms into classes."""
+        self._rebuild_congruence()
         result: Dict[int, Set[int]] = {}
         for term_id in self.bank.all_ids():
             result.setdefault(self._find(term_id), set()).add(term_id)
@@ -122,8 +134,12 @@ class CongruenceClosure:
         """Merge classes until congruence is a fixpoint.
 
         The term banks in refinement queries hold at most a few hundred
-        terms, so the quadratic fixpoint loop is plenty fast.
+        terms, so the quadratic fixpoint loop is plenty fast.  The loop is
+        skipped entirely when no union happened and no term was interned
+        since the last rebuild.
         """
+        if not self._dirty and self._rebuilt_size == len(self.bank):
+            return
         changed = True
         while changed:
             changed = False
@@ -136,6 +152,8 @@ class CongruenceClosure:
                 other = signature.get(key)
                 if other is None:
                     signature[key] = term_id
-                elif not self.are_equal(other, term_id):
+                elif self._find(other) != self._find(term_id):
                     self._union(other, term_id)
                     changed = True
+        self._dirty = False
+        self._rebuilt_size = len(self.bank)

@@ -1,24 +1,110 @@
-"""Module-level convenience interface to the SMT substrate.
+"""Solver backend protocol and module-level convenience interface.
 
 The type checker and the Horn solver issue a very large number of small
-validity / satisfiability queries; routing them through a shared default
-solver lets results be memoized across the whole synthesis run.
+validity / satisfiability queries.  Two layers serve them:
+
+* :class:`SolverBackend` — the abstract *incremental* interface
+  (``push`` / ``pop`` / ``assert_`` / ``check``).  The concrete
+  :class:`repro.smt.solver.IncrementalSolver` implements it with assumption
+  literals over a single persistent SAT solver and theory checker, so a
+  fixpoint loop that re-asserts the same premises thousands of times pays
+  for their encoding exactly once and keeps every learned theory lemma.
+
+* the module-level functions (:func:`valid`, :func:`satisfiable`) — a
+  back-compat shim routing one-shot queries through a process-wide shared
+  :class:`repro.smt.solver.SmtSolver` so results are memoized across the
+  whole synthesis run.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Iterable, Optional
 
+from ..logic import ops
 from ..logic.formulas import Formula
-from .solver import SmtSolver, SolverStatistics
 
-_default_solver: Optional[SmtSolver] = None
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .solver import SmtSolver, SolverStatistics
 
 
-def default_solver() -> SmtSolver:
+class SolverBackend(ABC):
+    """Abstract incremental satisfiability backend.
+
+    Assertions are scoped: ``push`` opens a scope, ``assert_`` adds a
+    formula to the innermost scope, ``pop`` discards the innermost scope,
+    and ``check`` decides satisfiability of the conjunction of all formulas
+    in all live scopes.  Implementations are expected to make re-assertion
+    of a previously seen formula cheap (no re-encoding), which is what the
+    Horn fixpoint loop relies on.
+    """
+
+    @abstractmethod
+    def push(self) -> None:
+        """Open a new assertion scope."""
+
+    @abstractmethod
+    def pop(self) -> None:
+        """Discard the innermost assertion scope."""
+
+    @abstractmethod
+    def assert_(self, formula: Formula) -> None:
+        """Add a formula to the innermost scope."""
+
+    @abstractmethod
+    def check(self) -> bool:
+        """Is the conjunction of all live assertions satisfiable?"""
+
+    def has_assertions(self) -> bool:
+        """Is any assertion live in any scope (base frame included)?
+
+        Consumers use this to decide whether a ``check`` answer is
+        context-free (cacheable).  The conservative default is ``True`` —
+        backends that track their scopes, like
+        :class:`repro.smt.solver.IncrementalSolver`, override it.
+        """
+        return True
+
+    # -- conveniences shared by all backends --------------------------------
+
+    def check_assuming(self, formulas: Iterable[Formula]) -> bool:
+        """Satisfiability of the live assertions plus the given formulas."""
+        self.push()
+        try:
+            for formula in formulas:
+                self.assert_(formula)
+            return self.check()
+        finally:
+            self.pop()
+
+    def is_valid_implication(
+        self, premises: Iterable[Formula], conclusion: Formula
+    ) -> bool:
+        """Does the conjunction of ``premises`` entail ``conclusion`` (in the
+        context of the live assertions)?"""
+        self.push()
+        try:
+            for premise in premises:
+                self.assert_(premise)
+            self.assert_(ops.not_(conclusion))
+            return not self.check()
+        finally:
+            self.pop()
+
+
+# ---------------------------------------------------------------------------
+# process-wide shared solver (back-compat shim)
+# ---------------------------------------------------------------------------
+
+_default_solver: Optional["SmtSolver"] = None
+
+
+def default_solver() -> "SmtSolver":
     """The process-wide shared solver instance."""
     global _default_solver
     if _default_solver is None:
+        from .solver import SmtSolver
+
         _default_solver = SmtSolver()
     return _default_solver
 
@@ -26,6 +112,8 @@ def default_solver() -> SmtSolver:
 def reset_default_solver() -> None:
     """Replace the shared solver (drops caches and statistics)."""
     global _default_solver
+    from .solver import SmtSolver
+
     _default_solver = SmtSolver()
 
 
@@ -39,6 +127,6 @@ def satisfiable(formula: Formula) -> bool:
     return default_solver().is_satisfiable(formula)
 
 
-def statistics() -> SolverStatistics:
+def statistics() -> "SolverStatistics":
     """Counters of the shared solver."""
     return default_solver().statistics

@@ -15,7 +15,7 @@ Learned blocking clauses can be added between calls via :meth:`SatSolver.add_cla
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
 
 class Unsatisfiable(Exception):
@@ -24,10 +24,17 @@ class Unsatisfiable(Exception):
 
 @dataclass
 class SatResult:
-    """Outcome of a SAT call: ``satisfiable`` plus a model when it is."""
+    """Outcome of a SAT call: ``satisfiable`` plus a model when it is.
+
+    ``assigned`` holds the variables the search actually decided or
+    propagated; every other variable in ``model`` is a don't-care completed
+    with ``False``.  Theory reasoning should restrict itself to ``assigned``
+    — don't-care atoms impose no constraint on the formula.
+    """
 
     satisfiable: bool
     model: Dict[int, bool] = field(default_factory=dict)
+    assigned: FrozenSet[int] = frozenset()
 
 
 class SatSolver:
@@ -80,10 +87,11 @@ class SatSolver:
         result = self._dpll(clauses, assignment)
         if result is None:
             return SatResult(False)
+        assigned = frozenset(result)
         # Complete the model: unconstrained variables default to False.
         for variable in self._variables:
             result.setdefault(variable, False)
-        return SatResult(True, result)
+        return SatResult(True, result, assigned)
 
     # -- internals ---------------------------------------------------------
 

@@ -23,7 +23,7 @@ countermodel can always be shrunk to contain only named elements.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..logic import ops
 from ..logic.formulas import (
@@ -39,6 +39,7 @@ from ..logic.formulas import (
 )
 from ..logic.sorts import SetSort, Sort
 from ..logic.transform import subterms
+from .names import FreshNames
 
 #: Name of the uninterpreted membership predicate introduced by the encoding.
 MEMBERSHIP_FUNC = "__mem"
@@ -49,8 +50,14 @@ WITNESS_PREFIX = "__wit"
 
 @dataclass
 class SetEncoder:
-    """Stateful encoder; one instance per SMT query."""
+    """Stateful encoder; one instance per SMT query.
 
+    When several queries share a solver context (the incremental backend),
+    pass the solver's :class:`FreshNames` so witness elements introduced for
+    different assertions never alias each other.
+    """
+
+    fresh_names: Optional[FreshNames] = None
     _universe: List[Formula] = field(default_factory=list)
     _witness_count: int = 0
 
@@ -66,9 +73,8 @@ class SetEncoder:
         seen = set()
 
         def add(term: Formula) -> None:
-            key = repr(term)
-            if key not in seen:
-                seen.add(key)
+            if term not in seen:
+                seen.add(term)
                 elements.append(term)
 
         for node in subterms(formula):
@@ -80,6 +86,8 @@ class SetEncoder:
         return elements
 
     def _fresh_witness(self, sort: Sort) -> Var:
+        if self.fresh_names is not None:
+            return self.fresh_names.fresh_var("wit", sort)
         self._witness_count += 1
         return Var(f"{WITNESS_PREFIX}{self._witness_count}", sort)
 
@@ -182,9 +190,9 @@ class SetEncoder:
         )
 
 
-def eliminate_sets(formula: Formula) -> Formula:
+def eliminate_sets(formula: Formula, fresh_names: Optional[FreshNames] = None) -> Formula:
     """Eliminate set atoms from a formula in negation normal form."""
-    return SetEncoder().encode(formula)
+    return SetEncoder(fresh_names).encode(formula)
 
 
 def mentions_sets(formula: Formula) -> bool:

@@ -7,7 +7,22 @@ Conflicting assignments are generalized by deletion-based shrinking and
 blocked, until either a theory-consistent assignment is found (SAT) or the
 propositional abstraction is exhausted (UNSAT).
 
-Pipeline (see :meth:`SmtSolver.is_satisfiable`):
+Two entry points share that loop:
+
+* :class:`IncrementalSolver` — the workhorse.  One persistent Tseitin
+  encoder, SAT solver and theory checker serve every query; each asserted
+  formula is guarded by an *assumption literal* (a selector), scopes are
+  just stacks of active selectors, and ``check`` solves under the active
+  selectors.  Re-asserting a formula (the Horn fixpoint loop does this
+  constantly) reuses its existing CNF, and theory lemmas learned in one
+  query prune all later ones.
+
+* :class:`SmtSolver` — the one-shot façade kept for back compatibility.
+  It owns an :class:`IncrementalSolver`, wraps each query in a
+  ``push``/``assert_``/``check``/``pop`` bracket, and memoizes results in a
+  bounded LRU cache keyed by interned formulas.
+
+Per-query preprocessing (see :meth:`IncrementalSolver._preprocess`):
 
 1. boolean equalities are rewritten to ``iff``;
 2. if-then-else terms are lifted into fresh definitional variables;
@@ -18,27 +33,28 @@ Pipeline (see :meth:`SmtSolver.is_satisfiable`):
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..logic import ops
 from ..logic.formulas import (
-    App,
     Binary,
     BinaryOp,
     BoolLit,
     Formula,
     Ite,
-    SetLit,
     Unary,
     UnaryOp,
-    Unknown,
-    Var,
+    intern_formula,
+    is_false,
+    is_true,
 )
 from ..logic.simplify import negation_normal_form, simplify
-from ..logic.sorts import BOOL, BoolSort
+from ..logic.sorts import BoolSort
 from ..logic.transform import transform
+from .interface import SolverBackend
+from .names import FreshNames
 from .sat import SatSolver
 from .sets import eliminate_sets, mentions_sets
 from .theory import Literal, TheoryChecker
@@ -52,20 +68,425 @@ class SolverStatistics:
     validity_queries: int = 0
     theory_checks: int = 0
     cache_hits: int = 0
+    cache_evictions: int = 0
+    #: Distinct formulas encoded into CNF (selector created).
+    encoded_assertions: int = 0
+    #: Assertions answered from the selector table without re-encoding.
+    reused_assertions: int = 0
 
 
-class SmtSolver:
-    """Satisfiability and validity of quantifier-free refinement formulas."""
+# ---------------------------------------------------------------------------
+# Tseitin encoding
+# ---------------------------------------------------------------------------
+
+class TseitinEncoder:
+    """Encodes NNF formulas into CNF over fresh propositional variables.
+
+    The encoder is persistent: theory atoms and previously encoded formulas
+    are memoized in formula-keyed tables (O(1) lookups thanks to the cached
+    structural hashes), so encoding the same subformula twice costs a single
+    dictionary probe instead of a CNF rebuild.
+
+    Clause *provenance* is tracked per encoded formula (the clauses it
+    emitted itself plus the formulas it delegated to), so a consumer can ask
+    for exactly the clauses a given root formula depends on
+    (:meth:`clause_closure`) instead of dragging the whole ever-growing
+    clause database into every SAT call.
+    """
+
+    def __init__(self) -> None:
+        self.clauses: List[List[int]] = []
+        self._atom_vars: Dict[Formula, int] = {}
+        self._var_atoms: Dict[int, Formula] = {}
+        self._roots: Dict[Formula, int] = {}
+        #: clause indices emitted directly while encoding a formula
+        self._formula_clauses: Dict[Formula, List[int]] = {}
+        #: subformulas whose encodings a formula depends on
+        self._formula_deps: Dict[Formula, List[Formula]] = {}
+        #: atom variables referenced directly while encoding a formula
+        self._formula_atoms: Dict[Formula, List[int]] = {}
+        self._clause_closures: Dict[Formula, frozenset] = {}
+        self._atom_closures: Dict[Formula, frozenset] = {}
+        self._frames: List[Tuple[List[int], List[Formula], List[int]]] = []
+        self._next_var = 1
+
+    def fresh_var(self) -> int:
+        """Allocate a fresh propositional variable."""
+        variable = self._next_var
+        self._next_var += 1
+        return variable
+
+    def atom_variable(self, atom: Formula) -> int:
+        """The propositional variable standing for a theory atom."""
+        variable = self._atom_vars.get(atom)
+        if variable is None:
+            variable = self.fresh_var()
+            self._atom_vars[atom] = variable
+            self._var_atoms[variable] = atom
+        if self._frames:
+            self._frames[-1][2].append(variable)
+        return variable
+
+    def emit_clause(self, clause: List[int]) -> int:
+        """Record a clause; returns its index in :attr:`clauses`."""
+        index = len(self.clauses)
+        self.clauses.append(clause)
+        if self._frames:
+            self._frames[-1][0].append(index)
+        return index
+
+    def encode(self, formula: Formula) -> int:
+        """Encode a formula; returns the literal equivalent to the formula."""
+        if self._frames:
+            self._frames[-1][1].append(formula)
+        cached = self._roots.get(formula)
+        if cached is not None:
+            return cached
+        self._frames.append(([], [], []))
+        try:
+            literal = self._encode(formula)
+        finally:
+            own, deps, atoms = self._frames.pop()
+        self._roots[formula] = literal
+        self._formula_clauses[formula] = own
+        self._formula_deps[formula] = deps
+        self._formula_atoms[formula] = atoms
+        return literal
+
+    def clause_closure(self, formula: Formula) -> frozenset:
+        """Indices of every clause the formula's encoding depends on."""
+        return self._closure(formula, self._clause_closures, self._formula_clauses)
+
+    def atom_closure(self, formula: Formula) -> frozenset:
+        """Variables of every theory atom the formula's encoding contains."""
+        return self._closure(formula, self._atom_closures, self._formula_atoms)
+
+    def _closure(
+        self,
+        formula: Formula,
+        cache: Dict[Formula, frozenset],
+        contributions: Dict[Formula, List[int]],
+    ) -> frozenset:
+        cached = cache.get(formula)
+        if cached is not None:
+            return cached
+        needed: set = set()
+        stack, seen = [formula], set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            needed.update(contributions.get(current, ()))
+            stack.extend(self._formula_deps.get(current, ()))
+        closure = frozenset(needed)
+        cache[formula] = closure
+        return closure
+
+    def _encode(self, formula: Formula) -> int:
+        if isinstance(formula, BoolLit):
+            variable = self.fresh_var()
+            self.emit_clause([variable] if formula.value else [-variable])
+            return variable
+        if isinstance(formula, Unary) and formula.op is UnaryOp.NOT:
+            return -self.encode(formula.arg)
+        if isinstance(formula, Binary) and formula.op is BinaryOp.AND:
+            lhs, rhs = self.encode(formula.lhs), self.encode(formula.rhs)
+            output = self.fresh_var()
+            self.emit_clause([-output, lhs])
+            self.emit_clause([-output, rhs])
+            self.emit_clause([output, -lhs, -rhs])
+            return output
+        if isinstance(formula, Binary) and formula.op is BinaryOp.OR:
+            lhs, rhs = self.encode(formula.lhs), self.encode(formula.rhs)
+            output = self.fresh_var()
+            self.emit_clause([-output, lhs, rhs])
+            self.emit_clause([output, -lhs])
+            self.emit_clause([output, -rhs])
+            return output
+        if isinstance(formula, Binary) and formula.op is BinaryOp.IMPLIES:
+            return self.encode(ops.or_(ops.not_(formula.lhs), formula.rhs))
+        if isinstance(formula, Binary) and formula.op is BinaryOp.IFF:
+            both = ops.and_(
+                ops.implies(formula.lhs, formula.rhs),
+                ops.implies(formula.rhs, formula.lhs),
+            )
+            return self.encode(both)
+        if isinstance(formula, Ite) and isinstance(formula.sort, BoolSort):
+            expanded = ops.or_(
+                ops.and_(formula.cond, formula.then_),
+                ops.and_(ops.not_(formula.cond), formula.else_),
+            )
+            return self.encode(expanded)
+        # A theory atom.
+        return self.atom_variable(formula)
+
+    def theory_literals(
+        self, model: Dict[int, bool], restrict: Optional[frozenset] = None
+    ) -> List[Literal]:
+        """The theory literals implied by a propositional model.
+
+        When ``restrict`` is given, only atoms whose variable belongs to it
+        are reported — the incremental backend passes the variables of the
+        *active* assertions that the search actually assigned, keeping
+        don't-care atoms out of the theory checker.  The restricted path
+        walks ``restrict``, not the solver-lifetime atom table, so its cost
+        tracks the live scope.
+        """
+        literals: List[Literal] = []
+        if restrict is not None:
+            for variable in sorted(restrict):
+                atom = self._var_atoms.get(variable)
+                if atom is not None and variable in model:
+                    literals.append(Literal(atom, model[variable]))
+            return literals
+        for atom, variable in self._atom_vars.items():
+            if variable in model:
+                literals.append(Literal(atom, model[variable]))
+        return literals
+
+
+# ---------------------------------------------------------------------------
+# the incremental backend
+# ---------------------------------------------------------------------------
+
+class IncrementalSolver(SolverBackend):
+    """Assumption-literal based incremental DPLL(T) solver.
+
+    Every distinct asserted formula gets a *selector* literal ``s`` and a
+    guard clause ``s -> formula``; a scope is the list of selectors asserted
+    since the matching ``push``, and ``check`` solves under the union of the
+    live selectors as assumptions.  Popping a scope merely forgets its
+    selector list — the CNF, the atom table, and all learned theory lemmas
+    stay, so later scopes that re-assert the same formulas (the Horn
+    fixpoint loop, the type checker's subtyping queries) reuse everything.
+
+    Theory lemmas learned by blocking inconsistent assignments are valid
+    sentences of the theory, so keeping them across scopes is sound.  Each
+    ``check`` hands the SAT core only the clauses the *active* assertions
+    depend on (via the encoder's clause provenance) plus the learned lemmas
+    over active atoms, so query cost tracks the live scope rather than the
+    whole history of the solver.
+
+    Note on finite sets: set atoms are compiled away per assertion, so the
+    element universe of a positive set equality/inclusion is the assertion's
+    own universe rather than the whole scope's.  Splitting one formula into
+    several assertions can therefore under-approximate unsatisfiability of
+    set constraints; callers deciding *validity* (unsat of the negation)
+    stay sound, and :meth:`is_valid_implication` conjoins automatically
+    when sets are involved.  Assert a single conjunction when exact set
+    reasoning across hand-rolled assertions is required.
+    """
 
     #: Upper bound on lazy refinement iterations per query (safety net).
     MAX_ITERATIONS = 20_000
 
-    def __init__(self) -> None:
+    def __init__(self, statistics: Optional[SolverStatistics] = None) -> None:
+        self._encoder = TseitinEncoder()
         self._theory = TheoryChecker()
-        self._cache: Dict[str, bool] = {}
-        self.statistics = SolverStatistics()
+        self._fresh = FreshNames()
+        #: formula -> selector literal (None when the formula is trivially true).
+        self._selectors: Dict[Formula, Optional[int]] = {}
+        #: selector literal -> variables of the theory atoms it activates.
+        self._selector_atoms: Dict[int, frozenset] = {}
+        #: selector literal -> (guard clause index, encoded root formula or None).
+        self._selector_info: Dict[int, Tuple[int, Optional[Formula]]] = {}
+        #: learned theory lemmas, indexed by one representative atom variable
+        #: so a check only examines lemmas touching its active atoms.
+        self._lemmas_by_var: Dict[int, List[List[int]]] = {}
+        self._frames: List[List[int]] = [[]]
+        self.statistics = statistics if statistics is not None else SolverStatistics()
+
+    # -- SolverBackend -------------------------------------------------------
+
+    def push(self) -> None:
+        self._frames.append([])
+
+    def pop(self) -> None:
+        if len(self._frames) == 1:
+            raise RuntimeError("pop without matching push")
+        self._frames.pop()
+
+    def has_assertions(self) -> bool:
+        """Is any assertion live in any scope (base frame included)?"""
+        return any(self._frames)
+
+    def assert_(self, formula: Formula) -> None:
+        formula = intern_formula(formula)
+        if formula in self._selectors:
+            self.statistics.reused_assertions += 1
+            selector = self._selectors[formula]
+        else:
+            selector = self._make_selector(formula)
+            self._selectors[formula] = selector
+        if selector is not None:
+            self._frames[-1].append(selector)
+
+    def check(self) -> bool:
+        self.statistics.sat_queries += 1
+        assumptions = [lit for frame in self._frames for lit in frame]
+        active_atoms = frozenset().union(
+            *(self._selector_atoms[lit] for lit in assumptions)
+        ) if assumptions else frozenset()
+        sat = self._relevant_sat_solver(assumptions, active_atoms)
+        for _ in range(self.MAX_ITERATIONS):
+            result = sat.solve(assumptions)
+            if not result.satisfiable:
+                return False
+            # Only atoms of live assertions that the search actually decided
+            # constrain the theory; everything else is a don't-care.
+            literals = self._encoder.theory_literals(
+                result.model, active_atoms & result.assigned
+            )
+            self.statistics.theory_checks += 1
+            if self._theory.is_consistent(literals):
+                return True
+            conflict = _shrink_conflict(self._theory, literals)
+            blocking = [
+                -self._encoder.atom_variable(lit.atom) if lit.polarity
+                else self._encoder.atom_variable(lit.atom)
+                for lit in conflict
+            ]
+            self._lemmas_by_var.setdefault(
+                min(abs(literal) for literal in blocking), []
+            ).append(blocking)
+            sat.add_clause(blocking)
+        raise RuntimeError("SMT solver exceeded its iteration budget")
+
+    def check_assuming(self, formulas) -> bool:
+        formulas = list(formulas)
+        if any(mentions_sets(f) for f in formulas):
+            # Per-assertion set elimination scopes element universes too
+            # narrowly for cross-assertion reasoning; fall back to one
+            # conjoined assertion (the exact, one-shot pipeline).
+            self.push()
+            try:
+                self.assert_(ops.conj(formulas))
+                return self.check()
+            finally:
+                self.pop()
+        return super().check_assuming(formulas)
+
+    def is_valid_implication(
+        self, premises, conclusion: Formula
+    ) -> bool:
+        premises = list(premises)
+        if mentions_sets(conclusion) or any(mentions_sets(p) for p in premises):
+            return not self.check_assuming(
+                [ops.and_(ops.conj(premises), ops.not_(conclusion))]
+            )
+        return super().is_valid_implication(premises, conclusion)
+
+    # -- internals -----------------------------------------------------------
+
+    def _make_selector(self, formula: Formula) -> Optional[int]:
+        self.statistics.encoded_assertions += 1
+        processed = self._preprocess(formula)
+        if is_true(processed):
+            return None
+        selector = self._encoder.fresh_var()
+        if is_false(processed):
+            # Assuming the selector contradicts this unit guard, making any
+            # scope that asserts the formula unsatisfiable.
+            guard = self._encoder.emit_clause([-selector])
+            self._selector_atoms[selector] = frozenset()
+            self._selector_info[selector] = (guard, None)
+        else:
+            root = self._encoder.encode(processed)
+            guard = self._encoder.emit_clause([-selector, root])
+            self._selector_info[selector] = (guard, processed)
+            self._selector_atoms[selector] = self._encoder.atom_closure(processed)
+        return selector
+
+    def _relevant_sat_solver(
+        self, assumptions: List[int], active_atoms: frozenset
+    ) -> SatSolver:
+        """A SAT solver primed with exactly the clauses this check needs:
+        the active assertions' guard clauses and encodings, plus learned
+        lemmas entirely over active atoms (lemmas touching an inactive atom
+        are trivially satisfiable here and would only slow the search)."""
+        needed: set = set()
+        for selector in set(assumptions):
+            guard, root = self._selector_info[selector]
+            needed.add(guard)
+            if root is not None:
+                needed.update(self._encoder.clause_closure(root))
+        sat = SatSolver()
+        clauses = self._encoder.clauses
+        sat.add_clauses(clauses[index] for index in sorted(needed))
+        for variable in active_atoms:
+            for lemma in self._lemmas_by_var.get(variable, ()):
+                if all(abs(literal) in active_atoms for literal in lemma):
+                    sat.add_clause(lemma)
+        return sat
+
+    def _preprocess(self, formula: Formula) -> Formula:
+        formula = simplify(formula)
+        formula = _booleanize_equalities(formula)
+        formula, definitions = _lift_ite(formula, self._fresh)
+        if definitions:
+            formula = ops.and_(formula, ops.conj(definitions))
+        formula = negation_normal_form(formula)
+        if mentions_sets(formula):
+            formula = eliminate_sets(formula, self._fresh)
+            formula = negation_normal_form(formula)
+        return simplify(formula)
+
+
+def _shrink_conflict(theory: TheoryChecker, literals: List[Literal]) -> List[Literal]:
+    """Deletion-based minimization of an inconsistent literal set."""
+    current = list(literals)
+    index = 0
+    while index < len(current):
+        candidate = current[:index] + current[index + 1:]
+        if candidate and not theory.is_consistent(candidate):
+            current = candidate
+        else:
+            index += 1
+    return current
+
+
+# ---------------------------------------------------------------------------
+# the one-shot façade
+# ---------------------------------------------------------------------------
+
+#: Default bound on the memoized query cache of :class:`SmtSolver`.
+DEFAULT_CACHE_SIZE = 4096
+
+
+class SmtSolver:
+    """Satisfiability and validity of quantifier-free refinement formulas.
+
+    A thin memoizing façade over a :class:`SolverBackend` (by default a
+    private :class:`IncrementalSolver`): each query runs in its own scope,
+    and results are cached in a bounded LRU keyed by the interned formula.
+    Cached answers are context-free, so the cache is bypassed whenever the
+    backend reports live assertions (the iteration budget also lives on the
+    backend: ``solver.backend.MAX_ITERATIONS``).
+    """
+
+    def __init__(
+        self,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        backend: Optional[SolverBackend] = None,
+    ) -> None:
+        if backend is None:
+            self.statistics = SolverStatistics()
+            self._backend: SolverBackend = IncrementalSolver(self.statistics)
+        else:
+            self._backend = backend
+            self.statistics = getattr(backend, "statistics", SolverStatistics())
+        if cache_size < 1:
+            raise ValueError("cache_size must be positive")
+        self._cache: "OrderedDict[Formula, bool]" = OrderedDict()
+        self._cache_size = cache_size
 
     # -- public API ----------------------------------------------------------
+
+    @property
+    def backend(self) -> SolverBackend:
+        """The incremental backend answering this solver's queries."""
+        return self._backend
 
     def is_valid(self, formula: Formula) -> bool:
         """Is ``formula`` true in every model?"""
@@ -73,75 +494,37 @@ class SmtSolver:
         return not self.is_satisfiable(ops.not_(formula))
 
     def is_satisfiable(self, formula: Formula) -> bool:
-        """Does ``formula`` have a model?"""
-        key = repr(formula)
-        if key in self._cache:
-            self.statistics.cache_hits += 1
-            return self._cache[key]
-        self.statistics.sat_queries += 1
-        result = self._solve(formula)
+        """Does ``formula`` have a model?
+
+        Answers are memoized only when the backend carries no live
+        assertions — in a non-empty context the answer depends on that
+        context and must not be cached as context-free.
+        """
+        key = intern_formula(formula)
+        contextual = self._backend.has_assertions()
+        if not contextual:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.statistics.cache_hits += 1
+                return cached
+        self._backend.push()
+        try:
+            self._backend.assert_(key)
+            result = self._backend.check()
+        finally:
+            self._backend.pop()
+        if contextual:
+            return result
         self._cache[key] = result
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+            self.statistics.cache_evictions += 1
         return result
 
     def clear_cache(self) -> None:
         """Drop memoized query results (used between benchmark runs)."""
         self._cache.clear()
-
-    # -- preprocessing -------------------------------------------------------
-
-    def _preprocess(self, formula: Formula) -> Formula:
-        formula = simplify(formula)
-        formula = _booleanize_equalities(formula)
-        formula, definitions = _lift_ite(formula)
-        if definitions:
-            formula = ops.and_(formula, ops.conj(definitions))
-        formula = negation_normal_form(formula)
-        if mentions_sets(formula):
-            formula = eliminate_sets(formula)
-            formula = negation_normal_form(formula)
-        return simplify(formula)
-
-    # -- the lazy loop -------------------------------------------------------
-
-    def _solve(self, formula: Formula) -> bool:
-        formula = self._preprocess(formula)
-        if isinstance(formula, BoolLit):
-            return formula.value
-
-        encoder = _TseitinEncoder()
-        root = encoder.encode(formula)
-        sat = SatSolver()
-        sat.add_clauses(encoder.clauses)
-        sat.add_clause([root])
-
-        for _ in range(self.MAX_ITERATIONS):
-            result = sat.solve()
-            if not result.satisfiable:
-                return False
-            literals = encoder.theory_literals(result.model)
-            self.statistics.theory_checks += 1
-            if self._theory.is_consistent(literals):
-                return True
-            conflict = self._shrink_conflict(literals)
-            blocking = [
-                -encoder.atom_variable(lit.atom) if lit.polarity
-                else encoder.atom_variable(lit.atom)
-                for lit in conflict
-            ]
-            sat.add_clause(blocking)
-        raise RuntimeError("SMT solver exceeded its iteration budget")
-
-    def _shrink_conflict(self, literals: List[Literal]) -> List[Literal]:
-        """Deletion-based minimization of an inconsistent literal set."""
-        current = list(literals)
-        index = 0
-        while index < len(current):
-            candidate = current[:index] + current[index + 1:]
-            if candidate and not self._theory.is_consistent(candidate):
-                current = candidate
-            else:
-                index += 1
-        return current
 
 
 # ---------------------------------------------------------------------------
@@ -161,95 +544,20 @@ def _booleanize_equalities(formula: Formula) -> Formula:
     return transform(formula, rewrite)
 
 
-_ite_counter = itertools.count()
-
-
-def _lift_ite(formula: Formula) -> Tuple[Formula, List[Formula]]:
+def _lift_ite(formula: Formula, fresh: FreshNames) -> Tuple[Formula, List[Formula]]:
     """Replace non-boolean ``ite`` terms by fresh variables with definitional
     constraints ``cond ==> v == then`` and ``!cond ==> v == else``."""
     definitions: List[Formula] = []
 
     def rewrite(node: Formula) -> Formula:
         if isinstance(node, Ite) and not isinstance(node.sort, BoolSort):
-            fresh = Var(f"__ite{next(_ite_counter)}", node.sort)
-            definitions.append(ops.implies(node.cond, ops.eq(fresh, node.then_)))
-            definitions.append(ops.implies(ops.not_(node.cond), ops.eq(fresh, node.else_)))
-            return fresh
+            fresh_var = fresh.fresh_var("ite", node.sort)
+            definitions.append(ops.implies(node.cond, ops.eq(fresh_var, node.then_)))
+            definitions.append(
+                ops.implies(ops.not_(node.cond), ops.eq(fresh_var, node.else_))
+            )
+            return fresh_var
         return node
 
     rewritten = transform(formula, rewrite)
     return rewritten, definitions
-
-
-# ---------------------------------------------------------------------------
-# Tseitin encoding
-# ---------------------------------------------------------------------------
-
-class _TseitinEncoder:
-    """Encodes an NNF formula into CNF over fresh propositional variables."""
-
-    def __init__(self) -> None:
-        self.clauses: List[List[int]] = []
-        self._atom_vars: Dict[str, int] = {}
-        self._atoms: Dict[str, Formula] = {}
-        self._next_var = 1
-
-    def _fresh(self) -> int:
-        variable = self._next_var
-        self._next_var += 1
-        return variable
-
-    def atom_variable(self, atom: Formula) -> int:
-        """The propositional variable standing for a theory atom."""
-        key = repr(atom)
-        if key not in self._atom_vars:
-            self._atom_vars[key] = self._fresh()
-            self._atoms[key] = atom
-        return self._atom_vars[key]
-
-    def encode(self, formula: Formula) -> int:
-        """Encode a formula; returns the literal equivalent to the formula."""
-        if isinstance(formula, BoolLit):
-            variable = self._fresh()
-            self.clauses.append([variable] if formula.value else [-variable])
-            return variable
-        if isinstance(formula, Unary) and formula.op is UnaryOp.NOT:
-            return -self.encode(formula.arg)
-        if isinstance(formula, Binary) and formula.op is BinaryOp.AND:
-            lhs, rhs = self.encode(formula.lhs), self.encode(formula.rhs)
-            output = self._fresh()
-            self.clauses.append([-output, lhs])
-            self.clauses.append([-output, rhs])
-            self.clauses.append([output, -lhs, -rhs])
-            return output
-        if isinstance(formula, Binary) and formula.op is BinaryOp.OR:
-            lhs, rhs = self.encode(formula.lhs), self.encode(formula.rhs)
-            output = self._fresh()
-            self.clauses.append([-output, lhs, rhs])
-            self.clauses.append([output, -lhs])
-            self.clauses.append([output, -rhs])
-            return output
-        if isinstance(formula, Binary) and formula.op is BinaryOp.IMPLIES:
-            return self.encode(ops.or_(ops.not_(formula.lhs), formula.rhs))
-        if isinstance(formula, Binary) and formula.op is BinaryOp.IFF:
-            both = ops.and_(
-                ops.implies(formula.lhs, formula.rhs),
-                ops.implies(formula.rhs, formula.lhs),
-            )
-            return self.encode(both)
-        if isinstance(formula, Ite) and isinstance(formula.sort, BoolSort):
-            expanded = ops.or_(
-                ops.and_(formula.cond, formula.then_),
-                ops.and_(ops.not_(formula.cond), formula.else_),
-            )
-            return self.encode(expanded)
-        # A theory atom.
-        return self.atom_variable(formula)
-
-    def theory_literals(self, model: Dict[int, bool]) -> List[Literal]:
-        """The theory literals implied by a propositional model."""
-        literals: List[Literal] = []
-        for key, variable in self._atom_vars.items():
-            if variable in model:
-                literals.append(Literal(self._atoms[key], model[variable]))
-        return literals

@@ -74,15 +74,14 @@ class TheoryChecker:
         false_id = bank.constant("__false")
         closure.assert_distinct(true_id, false_id)
 
-        term_ids: Dict[str, int] = {}
+        term_ids: Dict[Formula, int] = {}
         int_terms: Dict[int, Formula] = {}
         constraints: List[Constraint] = []
 
         def intern(term: Formula) -> int:
             """Intern a formula term for congruence closure purposes."""
-            key = repr(term)
-            if key in term_ids:
-                return term_ids[key]
+            if term in term_ids:
+                return term_ids[term]
             if isinstance(term, Var):
                 term_id = bank.constant(f"var:{term.name}")
             elif isinstance(term, IntLit):
@@ -107,8 +106,8 @@ class TheoryChecker:
                     "setlit", [intern(element) for element in term.elements]
                 )
             else:
-                term_id = bank.constant(f"opaque:{key}")
-            term_ids[key] = term_id
+                term_id = bank.constant(f"opaque:{term!r}")
+            term_ids[term] = term_id
             if isinstance(term.sort, IntSort):
                 int_terms.setdefault(term_id, term)
             return term_id

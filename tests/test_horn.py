@@ -1,0 +1,224 @@
+"""Tests for the Horn-constraint fixpoint solver (Sec. 5 of the paper)."""
+
+import pytest
+
+from repro.logic import ops
+from repro.logic.formulas import IntLit, Unknown, value_var
+from repro.logic.qualifiers import default_qualifiers
+from repro.logic.sorts import INT
+from repro.horn import (
+    HornConstraint,
+    HornSolver,
+    QualifierSpace,
+    build_space,
+    build_spaces,
+    constraint,
+)
+
+x = ops.var("x", INT)
+y = ops.var("y", INT)
+nu = value_var(INT)
+
+
+def max_system():
+    """The paper's running example: synthesize the postcondition of max.
+
+    ``P`` is the unknown refinement of the result; the two branch
+    constraints weaken it, and the spec constraint checks it entails
+    ``nu >= x && nu >= y``.  Solving needs the *conjunction* of two
+    qualifiers (``x <= nu && y <= nu``).
+    """
+    space = build_space("P", default_qualifiers(), [x, y], value_sort=INT)
+    constraints = [
+        constraint([ops.ge(x, y)], Unknown("P", (("_v", x),)), "then-branch"),
+        constraint([ops.not_(ops.ge(x, y))], Unknown("P", (("_v", y),)), "else-branch"),
+        constraint(
+            [Unknown("P")], ops.and_(ops.ge(nu, x), ops.ge(nu, y)), "spec"
+        ),
+    ]
+    return constraints, [space]
+
+
+class TestConstraints:
+    def test_classification(self):
+        weakening = constraint([ops.le(x, y)], Unknown("P"))
+        definite = constraint([Unknown("P")], ops.le(x, y))
+        assert not weakening.is_definite()
+        assert weakening.conclusion_unknown().name == "P"
+        assert definite.is_definite()
+        assert definite.conclusion_unknown() is None
+        assert definite.premise_unknowns() == {"P"}
+        assert weakening.unknowns() == definite.unknowns() == {"P"}
+
+    def test_mixed_conclusion_rejected(self):
+        with pytest.raises(ValueError):
+            constraint([], ops.and_(Unknown("P"), ops.le(x, y)))
+
+
+class TestMaxExample:
+    def test_strongest_assignment(self):
+        constraints, spaces = max_system()
+        solver = HornSolver()
+        solution = solver.solve(constraints, spaces)
+        assert solution.solved
+        valuation = set(solution.assignment["P"])
+        # the conjunction of >= 2 qualifiers is required and found
+        assert ops.le(x, nu) in valuation
+        assert ops.le(y, nu) in valuation
+        # nothing false under either branch survives
+        assert ops.le(nu, x) not in valuation
+        assert ops.eq(nu, x) not in valuation
+
+    def test_validity_checks_go_through_incremental_backend(self):
+        constraints, spaces = max_system()
+        solver = HornSolver()
+        solution = solver.solve(constraints, spaces)
+        assert solution.solved
+        stats = solver.backend.statistics
+        assert stats.sat_queries == solver.statistics.validity_checks > 0
+        # unchanged premises are re-asserted without re-encoding: every
+        # per-qualifier probe reuses the constraint's premise selectors
+        assert stats.reused_assertions > 0
+
+    def test_weakest_assignment(self):
+        constraints, spaces = max_system()
+        solution = HornSolver().solve(constraints, spaces, minimize=True)
+        assert solution.solved
+        assert set(solution.weakest["P"]) == {ops.le(x, nu), ops.le(y, nu)}
+
+    def test_solution_formula(self):
+        constraints, spaces = max_system()
+        solution = HornSolver().solve(constraints, spaces)
+        strongest = solution.formula_for("P")
+        # the strongest valuation entails the spec
+        backend = HornSolver().backend
+        assert backend.is_valid_implication(
+            [strongest], ops.and_(ops.ge(nu, x), ops.ge(nu, y))
+        )
+
+
+class TestAbsExample:
+    def test_abs_postcondition(self):
+        """abs-style system: P must capture nu >= 0 using a literal candidate."""
+        space = build_space(
+            "P", default_qualifiers(), [x, IntLit(0)], value_sort=INT
+        )
+        constraints = [
+            constraint([ops.ge(x, IntLit(0))], Unknown("P", (("_v", x),))),
+            constraint(
+                [ops.lt(x, IntLit(0))], Unknown("P", (("_v", ops.neg(x)),))
+            ),
+            constraint([Unknown("P")], ops.ge(nu, IntLit(0)), "spec"),
+        ]
+        solution = HornSolver().solve(constraints, [space])
+        assert solution.solved
+        assert ops.le(IntLit(0), nu) in solution.assignment["P"]
+
+
+class TestUnsolvableSystem:
+    def test_definite_constraint_fails(self):
+        """No subset of the qualifier space makes P entail nu < 0."""
+        space = build_space("P", default_qualifiers(), [x], value_sort=INT)
+        spec = constraint([Unknown("P")], ops.lt(nu, IntLit(0)), "spec")
+        constraints = [
+            constraint([ops.ge(x, IntLit(0))], Unknown("P", (("_v", x),))),
+            spec,
+        ]
+        solution = HornSolver().solve(constraints, [space])
+        assert not solution.solved
+        assert solution.failed is spec
+
+    def test_contradictory_premises_prove_anything(self):
+        space = build_space("P", default_qualifiers(), [x, y], value_sort=INT)
+        constraints = [
+            constraint([ops.lt(x, y), ops.lt(y, x)], Unknown("P")),
+        ]
+        solution = HornSolver().solve(constraints, [space])
+        assert solution.solved
+        # nothing needs to be pruned under inconsistent premises
+        assert set(solution.assignment["P"]) == set(space.qualifiers)
+
+
+class TestChainedUnknowns:
+    def test_weakening_propagates_through_premises(self):
+        """P feeds Q: pruning P must re-trigger weakening of Q."""
+        spaces = build_spaces(
+            {"P": [x], "Q": [x]}, default_qualifiers(), value_sort=INT
+        )
+        constraints = [
+            # P can only keep qualifiers implied by x == nu
+            constraint([ops.eq(x, nu)], Unknown("P")),
+            # Q must follow from P alone
+            constraint([Unknown("P")], Unknown("Q")),
+        ]
+        solution = HornSolver().solve(constraints, spaces)
+        assert solution.solved
+        # Q's valuation is a subset of what P can justify
+        p_formula = ops.conj(solution.assignment["P"])
+        backend = HornSolver().backend
+        for q in solution.assignment["Q"]:
+            assert backend.is_valid_implication([p_formula], q)
+
+    def test_multiple_rounds_run(self):
+        spaces = build_spaces(
+            {"P": [x], "Q": [x]}, default_qualifiers(), value_sort=INT
+        )
+        constraints = [
+            constraint([ops.eq(x, nu)], Unknown("P")),
+            constraint([Unknown("P")], Unknown("Q")),
+        ]
+        solver = HornSolver()
+        solver.solve(constraints, spaces)
+        assert solver.statistics.fixpoint_rounds >= 2
+
+
+class TestSetConstraints:
+    def test_set_qualifiers_survive_weakening(self):
+        """Cross-premise set reasoning: member(x, s) and s <= t justify
+        member(x, t) only if the solver sees one element universe."""
+        from repro.logic.sorts import set_of
+
+        s = ops.var("s", set_of(INT))
+        t = ops.var("t", set_of(INT))
+        space = QualifierSpace("P", (ops.member(x, t),))
+        constraints = [
+            constraint([ops.member(x, s), ops.subset(s, t)], Unknown("P")),
+        ]
+        solution = HornSolver().solve(constraints, [space])
+        assert solution.solved
+        assert solution.assignment["P"] == (ops.member(x, t),)
+
+    def test_unjustified_set_qualifier_is_pruned(self):
+        from repro.logic.sorts import set_of
+
+        s = ops.var("s", set_of(INT))
+        t = ops.var("t", set_of(INT))
+        space = QualifierSpace("P", (ops.member(x, t),))
+        constraints = [constraint([ops.member(x, s)], Unknown("P"))]
+        solution = HornSolver().solve(constraints, [space])
+        assert solution.assignment["P"] == ()
+
+
+class TestSpaces:
+    def test_missing_space_means_trivial_valuation(self):
+        solution = HornSolver().solve(
+            [constraint([ops.le(x, y)], Unknown("P"))], []
+        )
+        assert solution.solved
+        assert solution.assignment["P"] == ()
+        assert solution.formula_for("P") == ops.bool_lit(True)
+
+    def test_space_map_accepts_iterables_and_mappings(self):
+        space = QualifierSpace("P", (ops.le(x, nu),))
+        by_list = HornSolver().solve(
+            [constraint([ops.le(x, nu)], Unknown("P"))], [space]
+        )
+        by_map = HornSolver().solve(
+            [constraint([ops.le(x, nu)], Unknown("P"))], {"P": space}
+        )
+        assert by_list.assignment == by_map.assignment
+
+    def test_build_space_sizes(self):
+        space = build_space("P", default_qualifiers(), [x, y], value_sort=INT)
+        # 4 qualifiers x 6 ordered distinct pairs of {x, y, nu}
+        assert len(space) == 24

@@ -1,0 +1,82 @@
+"""Tests for qualifier instantiation and extraction."""
+
+from repro.logic import ops
+from repro.logic.formulas import IntLit, value_var
+from repro.logic.qualifiers import (
+    default_qualifiers,
+    extract_qualifiers,
+    instantiate_all,
+    instantiate_qualifier,
+    make_qualifier,
+    placeholder,
+)
+from repro.logic.sorts import BOOL, INT
+
+x = ops.var("x", INT)
+y = ops.var("y", INT)
+z = ops.var("z", INT)
+
+
+def le_qualifier():
+    return make_qualifier(ops.le(placeholder(0, INT), placeholder(1, INT)))
+
+
+class TestInstantiation:
+    def test_no_reflexive_instantiations(self):
+        instances = list(instantiate_qualifier(le_qualifier(), [x, y]))
+        assert ops.le(x, x) not in instances
+        assert ops.le(y, y) not in instances
+        assert set(instances) == {ops.le(x, y), ops.le(y, x)}
+
+    def test_structurally_equal_candidates_are_duplicates(self):
+        # Two distinct-but-equal Var objects must not fill both placeholders.
+        x_again = ops.var("x", INT)
+        instances = list(instantiate_qualifier(le_qualifier(), [x, x_again]))
+        assert instances == []
+
+    def test_ordered_pairs_over_three_candidates(self):
+        instances = list(instantiate_qualifier(le_qualifier(), [x, y, z]))
+        assert len(instances) == 6  # all ordered pairs of distinct candidates
+
+    def test_sort_filtering(self):
+        b = ops.var("b", BOOL)
+        instances = list(instantiate_qualifier(le_qualifier(), [x, b, y]))
+        assert set(instances) == {ops.le(x, y), ops.le(y, x)}
+
+    def test_literal_candidates(self):
+        zero = IntLit(0)
+        instances = list(instantiate_qualifier(le_qualifier(), [x, zero]))
+        assert set(instances) == {ops.le(x, zero), ops.le(zero, x)}
+
+    def test_instantiate_all_deduplicates(self):
+        quals = [le_qualifier(), le_qualifier()]
+        instances = instantiate_all(quals, [x, y])
+        assert len(instances) == len(set(instances)) == 2
+
+    def test_default_qualifiers_over_value_var(self):
+        nu = value_var(INT)
+        instances = instantiate_all(default_qualifiers(), [x, y, nu])
+        assert ops.le(x, nu) in instances
+        assert ops.le(y, nu) in instances
+        assert ops.neq(x, y) in instances
+        # reflexive pairs were skipped for every qualifier
+        assert ops.eq(nu, nu) not in instances
+
+
+class TestExtraction:
+    def test_extracts_comparison_atoms(self):
+        nu = value_var(INT)
+        quals = extract_qualifiers([ops.and_(ops.ge(nu, x), ops.ge(nu, y))])
+        # both atoms abstract to the same qualifier (nu >= ?0)
+        assert len(quals) == 1
+        assert quals[0].arity() == 1
+
+    def test_extracted_qualifier_reinstantiates(self):
+        nu = value_var(INT)
+        quals = extract_qualifiers([ops.ge(nu, x)])
+        instances = instantiate_all(quals, [y])
+        assert instances == [ops.ge(nu, y)]
+
+    def test_literal_only_atoms_are_dropped(self):
+        quals = extract_qualifiers([ops.lt(IntLit(0), IntLit(1))])
+        assert quals == []

@@ -1,0 +1,109 @@
+"""Tests for the propositional SAT core and the EUF+LIA theory checker."""
+
+from repro.logic import ops
+from repro.logic.sorts import BOOL, INT
+from repro.smt.sat import SatSolver, solve_clauses
+from repro.smt.theory import Literal, TheoryChecker
+
+x = ops.var("x", INT)
+y = ops.var("y", INT)
+z = ops.var("z", INT)
+
+
+class TestSatSolver:
+    def test_simple_sat(self):
+        result = solve_clauses([[1, 2], [-1, 2], [1, -2]])
+        assert result.satisfiable
+        model = result.model
+        assert (model[1] or model[2]) and (not model[1] or model[2])
+
+    def test_simple_unsat(self):
+        result = solve_clauses([[1], [-1]])
+        assert not result.satisfiable
+
+    def test_unit_propagation_chain(self):
+        result = solve_clauses([[1], [-1, 2], [-2, 3]])
+        assert result.satisfiable
+        assert result.model[1] and result.model[2] and result.model[3]
+
+    def test_empty_clause_is_unsat(self):
+        solver = SatSolver()
+        solver.add_clause([])
+        assert not solver.solve().satisfiable
+
+    def test_tautologies_are_dropped(self):
+        solver = SatSolver()
+        solver.add_clause([1, -1])
+        assert solver.num_clauses == 0
+
+    def test_assumptions(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve([-1]).satisfiable
+        assert solver.solve([-1]).model[2]
+        assert not solver.solve([-1, -2]).satisfiable
+        # conflicting assumptions
+        assert not solver.solve([1, -1]).satisfiable
+
+    def test_incremental_blocking(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        first = solver.solve()
+        assert first.satisfiable
+        # block every model one at a time until exhaustion
+        seen = 0
+        while True:
+            result = solver.solve()
+            if not result.satisfiable:
+                break
+            seen += 1
+            solver.add_clause(
+                [-v if value else v for v, value in result.model.items()]
+            )
+        assert seen == 3  # models of (1 or 2) over two variables
+
+
+class TestTheoryChecker:
+    def check(self, *pairs):
+        return TheoryChecker().is_consistent(
+            [Literal(atom, polarity) for atom, polarity in pairs]
+        )
+
+    def test_lia_conflict(self):
+        assert not self.check((ops.le(x, y), True), (ops.lt(y, x), True))
+        assert self.check((ops.le(x, y), True), (ops.lt(x, y), True))
+
+    def test_negated_comparison(self):
+        # !(x <= y) and !(y <= x) is inconsistent over integers
+        assert not self.check((ops.le(x, y), False), (ops.le(y, x), False))
+
+    def test_equality_propagates_to_arithmetic(self):
+        assert not self.check(
+            (ops.eq(x, y), True),
+            (ops.lt(x, y), True),
+        )
+
+    def test_congruence_closure(self):
+        fx = ops.measure("f", x, INT)
+        fy = ops.measure("f", y, INT)
+        # x == y implies f x == f y; asserting f x != f y must conflict
+        assert not self.check((ops.eq(x, y), True), (ops.eq(fx, fy), False))
+        assert self.check((ops.eq(x, y), False), (ops.eq(fx, fy), False))
+
+    def test_euf_equality_feeds_lia(self):
+        fx = ops.measure("f", x, INT)
+        fy = ops.measure("f", y, INT)
+        # x == y forces f x == f y, so f x < f y is infeasible
+        assert not self.check((ops.eq(x, y), True), (ops.lt(fx, fy), True))
+
+    def test_boolean_atom_polarities(self):
+        p = ops.var("p", BOOL)
+        assert not self.check((p, True), (p, False))
+        assert self.check((p, True), (ops.var("q", BOOL), False))
+
+    def test_integer_chain(self):
+        assert not self.check(
+            (ops.le(x, y), True),
+            (ops.le(y, z), True),
+            (ops.lt(z, x), True),
+        )

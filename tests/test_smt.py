@@ -1,0 +1,233 @@
+"""Tests for the SMT pipeline: one-shot façade and incremental backend."""
+
+import pytest
+
+from repro.logic import ops
+from repro.logic.formulas import IntLit, value_var
+from repro.logic.sorts import BOOL, INT, set_of
+from repro.smt import (
+    IncrementalSolver,
+    SmtSolver,
+    SolverBackend,
+    default_solver,
+    reset_default_solver,
+)
+
+x = ops.var("x", INT)
+y = ops.var("y", INT)
+z = ops.var("z", INT)
+p = ops.var("p", BOOL)
+
+
+class TestSmtSolver:
+    def test_valid_implication(self):
+        solver = SmtSolver()
+        assert solver.is_valid(ops.implies(ops.lt(x, y), ops.le(x, y)))
+        assert not solver.is_valid(ops.implies(ops.le(x, y), ops.lt(x, y)))
+
+    def test_satisfiability(self):
+        solver = SmtSolver()
+        assert solver.is_satisfiable(ops.and_(ops.le(x, y), ops.neq(x, y)))
+        assert not solver.is_satisfiable(ops.and_(ops.le(x, y), ops.lt(y, x)))
+
+    def test_boolean_structure(self):
+        solver = SmtSolver()
+        assert solver.is_valid(ops.or_(p, ops.not_(p)))
+        assert not solver.is_satisfiable(ops.and_(p, ops.not_(p)))
+        assert solver.is_valid(ops.iff(p, p))
+
+    def test_boolean_equality_rewrite(self):
+        solver = SmtSolver()
+        q = ops.var("q", BOOL)
+        assert solver.is_valid(ops.implies(ops.and_(ops.eq(p, q), p), q))
+
+    def test_ite_lifting(self):
+        solver = SmtSolver()
+        absval = ops.ite(ops.ge(x, IntLit(0)), x, ops.neg(x))
+        assert solver.is_valid(ops.ge(absval, IntLit(0)))
+
+    def test_uninterpreted_measures(self):
+        solver = SmtSolver()
+        length = ops.measure("len", x, INT)
+        same = ops.measure("len", ops.var("x", INT), INT)
+        assert solver.is_valid(ops.eq(length, same))
+
+    def test_sets(self):
+        solver = SmtSolver()
+        s = ops.var("s", set_of(INT))
+        singleton = ops.singleton(x)
+        assert solver.is_valid(ops.member(x, ops.union(singleton, s)))
+        assert not solver.is_valid(ops.member(y, ops.union(singleton, s)))
+
+    def test_cache_hits(self):
+        solver = SmtSolver()
+        formula = ops.le(x, y)
+        solver.is_satisfiable(formula)
+        hits_before = solver.statistics.cache_hits
+        solver.is_satisfiable(ops.le(ops.var("x", INT), y))
+        assert solver.statistics.cache_hits == hits_before + 1
+
+    def test_cache_eviction_is_bounded_and_counted(self):
+        solver = SmtSolver(cache_size=2)
+        for k in range(5):
+            solver.is_satisfiable(ops.le(x, IntLit(k)))
+        assert len(solver._cache) <= 2
+        assert solver.statistics.cache_evictions == 3
+
+    def test_cache_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SmtSolver(cache_size=0)
+
+    def test_clear_cache(self):
+        solver = SmtSolver()
+        formula = ops.le(x, y)
+        solver.is_satisfiable(formula)
+        solver.clear_cache()
+        hits = solver.statistics.cache_hits
+        solver.is_satisfiable(formula)
+        assert solver.statistics.cache_hits == hits
+
+    def test_solver_instances_are_independent(self):
+        # Fresh-name generation is per solver: the same ite-heavy query run
+        # on two fresh solvers yields identical results and statistics.
+        query = ops.ge(ops.ite(ops.ge(x, y), x, y), x)
+        first, second = SmtSolver(), SmtSolver()
+        assert first.is_valid(query) and second.is_valid(query)
+        assert first.statistics == second.statistics
+
+    def test_cache_bypassed_under_live_backend_assertions(self):
+        # Answers depend on base-scope assertions, so they must not be
+        # memoized as context-free (and stale entries must not be served).
+        solver = SmtSolver()
+        query = ops.lt(x, ops.int_lit(0))
+        assert solver.is_satisfiable(query)  # context-free: cached True
+        solver.backend.assert_(ops.gt(x, ops.int_lit(0)))
+        assert not solver.is_satisfiable(query)  # contextual: recomputed
+        assert solver.statistics.cache_hits == 0
+
+    def test_default_solver_shared(self):
+        reset_default_solver()
+        assert default_solver() is default_solver()
+
+
+class TestIncrementalSolver:
+    def test_push_pop_scoping(self):
+        solver = IncrementalSolver()
+        solver.assert_(ops.le(x, y))
+        assert solver.check()
+        solver.push()
+        solver.assert_(ops.lt(y, x))
+        assert not solver.check()
+        solver.pop()
+        assert solver.check()
+
+    def test_pop_without_push_raises(self):
+        with pytest.raises(RuntimeError):
+            IncrementalSolver().pop()
+
+    def test_assertions_accumulate_within_scope(self):
+        solver = IncrementalSolver()
+        solver.push()
+        solver.assert_(ops.le(x, y))
+        solver.assert_(ops.le(y, z))
+        solver.assert_(ops.lt(z, x))
+        assert not solver.check()
+        solver.pop()
+        assert solver.check()
+
+    def test_reasserted_formulas_are_not_reencoded(self):
+        solver = IncrementalSolver()
+        formula = ops.and_(ops.le(x, y), ops.neq(x, y))
+        for _ in range(5):
+            solver.push()
+            solver.assert_(formula)
+            assert solver.check()
+            solver.pop()
+        assert solver.statistics.encoded_assertions == 1
+        assert solver.statistics.reused_assertions == 4
+
+    def test_trivial_assertions(self):
+        solver = IncrementalSolver()
+        solver.push()
+        solver.assert_(ops.bool_lit(True))
+        assert solver.check()
+        solver.assert_(ops.bool_lit(False))
+        assert not solver.check()
+        solver.pop()
+        assert solver.check()
+
+    def test_check_assuming_restores_state(self):
+        solver = IncrementalSolver()
+        solver.assert_(ops.le(x, y))
+        assert not solver.check_assuming([ops.lt(y, x)])
+        assert solver.check()
+
+    def test_is_valid_implication(self):
+        solver = IncrementalSolver()
+        assert solver.is_valid_implication(
+            [ops.le(x, y), ops.le(y, z)], ops.le(x, z)
+        )
+        assert not solver.is_valid_implication([ops.le(x, y)], ops.le(y, x))
+
+    def test_learned_lemmas_survive_pop(self):
+        solver = IncrementalSolver()
+        # Run a query that forces theory lemmas, then re-run it: the second
+        # round must not need more theory checks than the first.
+        query = ops.and_(ops.le(x, y), ops.lt(y, x))
+        solver.push()
+        solver.assert_(query)
+        solver.check()
+        first_round = solver.statistics.theory_checks
+        solver.pop()
+        solver.push()
+        solver.assert_(query)
+        solver.check()
+        solver.pop()
+        second_round = solver.statistics.theory_checks - first_round
+        assert second_round <= first_round
+
+    def test_is_a_solver_backend(self):
+        assert isinstance(IncrementalSolver(), SolverBackend)
+        assert isinstance(SmtSolver().backend, SolverBackend)
+
+    def test_check_assuming_conjoins_set_formulas(self):
+        solver = IncrementalSolver()
+        s = ops.var("s", set_of(INT))
+        empty = ops.empty_set(INT)
+        # x in s together with s <= [] is unsatisfiable only if both
+        # assertions share one element universe.
+        assert not solver.check_assuming(
+            [ops.member(x, s), ops.subset(s, empty)]
+        )
+        assert solver.check_assuming([ops.member(x, s)])
+
+    def test_set_reasoning_across_premises(self):
+        # Set elimination is per assertion; is_valid_implication must still
+        # decide cross-assertion set entailments exactly (it conjoins).
+        solver = IncrementalSolver()
+        s = ops.var("s", set_of(INT))
+        t = ops.var("t", set_of(INT))
+        assert solver.is_valid_implication(
+            [ops.member(x, s), ops.subset(s, t)], ops.member(x, t)
+        )
+        assert not solver.is_valid_implication(
+            [ops.member(x, s)], ops.member(x, t)
+        )
+
+    def test_check_cost_tracks_active_scope_not_history(self):
+        # After many unrelated assertions in popped scopes, a small check
+        # must only hand the SAT core the clauses of its live assertions.
+        solver = IncrementalSolver()
+        for k in range(50):
+            solver.push()
+            solver.assert_(ops.le(ops.var(f"v{k}", INT), IntLit(k)))
+            solver.check()
+            solver.pop()
+        solver.push()
+        solver.assert_(ops.le(x, y))
+        sat = solver._relevant_sat_solver(
+            [lit for frame in solver._frames for lit in frame],
+            frozenset(),
+        )
+        solver.pop()
+        assert sat.num_clauses <= 3  # one guard clause, not 50+ history
