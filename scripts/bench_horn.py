@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Perf smoke benchmark: time HornSolver on the paper's max/abs systems.
+
+Runs each system several times on a fresh solver (so no memoized state
+leaks between repetitions), records wall-clock and solver counters, and
+writes a JSON report for the CI artifact trail::
+
+    PYTHONPATH=src python scripts/bench_horn.py --output BENCH_horn.json
+
+The report intentionally records *counters* (validity checks, SAT queries,
+fixpoint rounds) next to the timings: counter regressions reproduce
+deterministically on any machine, so they are the first thing to inspect
+when the timing trend moves.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.horn import HornSolver, build_space, constraint  # noqa: E402
+from repro.logic import ops  # noqa: E402
+from repro.logic.formulas import IntLit, Unknown, value_var  # noqa: E402
+from repro.logic.qualifiers import default_qualifiers  # noqa: E402
+from repro.logic.sorts import INT  # noqa: E402
+from repro.syntax import app, arrow, if_, int_type, lam, lit, parse_type, v  # noqa: E402
+from repro.syntax.types import INT_BASE  # noqa: E402
+from repro.typecheck import EMPTY, TypecheckSession  # noqa: E402
+
+x = ops.var("x", INT)
+y = ops.var("y", INT)
+nu = value_var(INT)
+
+
+def max_horn_system():
+    space = build_space("P", default_qualifiers(), [x, y], value_sort=INT)
+    constraints = [
+        constraint([ops.ge(x, y)], Unknown("P", (("_v", x),)), "then"),
+        constraint([ops.not_(ops.ge(x, y))], Unknown("P", (("_v", y),)), "else"),
+        constraint([Unknown("P")], ops.and_(ops.ge(nu, x), ops.ge(nu, y)), "spec"),
+    ]
+    return constraints, [space]
+
+
+def abs_horn_system():
+    space = build_space("P", default_qualifiers(), [x, IntLit(0)], value_sort=INT)
+    constraints = [
+        constraint([ops.ge(x, IntLit(0))], Unknown("P", (("_v", x),)), "then"),
+        constraint([ops.lt(x, IntLit(0))], Unknown("P", (("_v", ops.neg(x)),)), "else"),
+        constraint([Unknown("P")], ops.ge(nu, IntLit(0)), "spec"),
+    ]
+    return constraints, [space]
+
+
+def run_horn(system_builder):
+    constraints, spaces = system_builder()
+    solver = HornSolver()
+    start = time.perf_counter()
+    solution = solver.solve(constraints, spaces, minimize=True)
+    elapsed = time.perf_counter() - start
+    assert solution.solved, "benchmark system must be solvable"
+    return elapsed, {
+        "validity_checks": solver.statistics.validity_checks,
+        "fixpoint_rounds": solver.statistics.fixpoint_rounds,
+        "pruned_qualifiers": solver.statistics.pruned_qualifiers,
+        "sat_queries": solver.backend.statistics.sat_queries,
+    }
+
+
+def run_typecheck_max():
+    geq = parse_type("a:Int -> b:Int -> {Bool | nu <==> a >= b}")
+    env = EMPTY.bind("geq", geq)
+    term = lam("x", "y", body=if_(app(v("geq"), v("x"), v("y")), v("x"), v("y")))
+    start = time.perf_counter()
+    session = TypecheckSession()
+    inner = env.bind("x", int_type()).bind("y", int_type())
+    result = session.fresh_scalar(inner, INT_BASE)
+    sig = arrow("x", int_type(), arrow("y", int_type(), result))
+    session.check(env, term, sig, where="max")
+    spec = parse_type("x:Int -> y:Int -> {Int | nu >= x && nu >= y}")
+    session.subtype(env, sig, spec, where="max-spec")
+    outcome = session.solve(minimize=True)
+    elapsed = time.perf_counter() - start
+    assert outcome.solved
+    return elapsed, {
+        "constraints": len(session.constraints),
+        "validity_checks": session.last_solver.statistics.validity_checks,
+        "sat_queries": session.backend.statistics.sat_queries,
+    }
+
+
+def run_typecheck_abs():
+    geq = parse_type("a:Int -> b:Int -> {Bool | nu <==> a >= b}")
+    neg = parse_type("a:Int -> {Int | nu == 0 - a}")
+    env = EMPTY.bind("geq", geq).bind("neg", neg)
+    term = lam("x", body=if_(app(v("geq"), v("x"), lit(0)), v("x"), app(v("neg"), v("x"))))
+    start = time.perf_counter()
+    session = TypecheckSession(literals=[ops.int_lit(0)])
+    inner = env.bind("x", int_type())
+    result = session.fresh_scalar(inner, INT_BASE)
+    sig = arrow("x", int_type(), result)
+    session.check(env, term, sig, where="abs")
+    session.subtype(env, sig, parse_type("x:Int -> {Int | nu >= 0}"), "abs-spec")
+    outcome = session.solve(minimize=True)
+    elapsed = time.perf_counter() - start
+    assert outcome.solved
+    return elapsed, {
+        "constraints": len(session.constraints),
+        "validity_checks": session.last_solver.statistics.validity_checks,
+        "sat_queries": session.backend.statistics.sat_queries,
+    }
+
+
+BENCHMARKS = {
+    "horn.max": lambda: run_horn(max_horn_system),
+    "horn.abs": lambda: run_horn(abs_horn_system),
+    "typecheck.max": run_typecheck_max,
+    "typecheck.abs": run_typecheck_abs,
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_horn.json", help="report path")
+    parser.add_argument("--repeat", type=int, default=5, help="runs per benchmark")
+    args = parser.parse_args()
+
+    report = {
+        "suite": "horn-perf-smoke",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repeat": args.repeat,
+        "benchmarks": [],
+    }
+    for name, runner in BENCHMARKS.items():
+        timings = []
+        counters = {}
+        for _ in range(args.repeat):
+            elapsed, counters = runner()
+            timings.append(elapsed)
+        entry = {
+            "name": name,
+            "mean_s": statistics.mean(timings),
+            "min_s": min(timings),
+            "max_s": max(timings),
+            "counters": counters,
+        }
+        report["benchmarks"].append(entry)
+        print(
+            f"{name:16s} mean={entry['mean_s'] * 1000:7.2f}ms "
+            f"min={entry['min_s'] * 1000:7.2f}ms "
+            f"counters={counters}"
+        )
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

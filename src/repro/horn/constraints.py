@@ -27,12 +27,17 @@ class HornConstraint:
     """``premises ==> conclusion`` with unknowns on either side.
 
     ``label`` is free-form provenance (e.g. the program location that
-    produced the constraint) surfaced in diagnostics.
+    produced the constraint) surfaced in diagnostics.  ``provenance`` is
+    the structured form the type checker emits: the trail of judgments
+    (program location, branch, subtyping obligation) that produced the
+    constraint, outermost first, so an unsolvable system can name the
+    failing obligation precisely (see :meth:`origin`).
     """
 
     premises: Tuple[Formula, ...]
     conclusion: Formula
     label: str = ""
+    provenance: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not isinstance(self.conclusion, Unknown) and formula_unknowns(self.conclusion):
@@ -65,6 +70,15 @@ class HornConstraint:
         names |= formula_unknowns(self.conclusion)
         return frozenset(names)
 
+    # -- diagnostics ---------------------------------------------------------
+
+    def origin(self) -> str:
+        """Where this constraint came from, for error messages: the
+        provenance trail when present, else the label, else a placeholder."""
+        if self.provenance:
+            return " / ".join(self.provenance)
+        return self.label or "<unlabeled constraint>"
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         lhs = " && ".join(repr(p) for p in self.premises) or "True"
         tag = f"  [{self.label}]" if self.label else ""
@@ -72,7 +86,10 @@ class HornConstraint:
 
 
 def constraint(
-    premises: Iterable[Formula], conclusion: Formula, label: str = ""
+    premises: Iterable[Formula],
+    conclusion: Formula,
+    label: str = "",
+    provenance: Tuple[str, ...] = (),
 ) -> HornConstraint:
     """Convenience constructor accepting any iterable of premises."""
-    return HornConstraint(tuple(premises), conclusion, label)
+    return HornConstraint(tuple(premises), conclusion, label, provenance)

@@ -29,11 +29,11 @@ preconditions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..logic import ops
-from ..logic.formulas import Formula, Unknown
+from ..logic.formulas import Formula
 from ..logic.substitution import apply_assignment, substitute
 from ..smt.interface import SolverBackend
 from ..smt.sets import mentions_sets
@@ -135,10 +135,7 @@ class HornSolver:
         names = set()
         for constr in constraints:
             names |= constr.unknowns()
-        return {
-            name: space_map[name].qualifiers if name in space_map else ()
-            for name in names
-        }
+        return {name: space_map[name].qualifiers if name in space_map else () for name in names}
 
     def _weaken(self, constr: HornConstraint, assignment: Assignment) -> bool:
         """Prune the conclusion unknown's valuation; True if it shrank."""
@@ -161,29 +158,21 @@ class HornSolver:
         # them so set elimination sees one universe); everything else keeps
         # the premises asserted (and encoded) once for the whole sweep.
         kept: List[Formula] = []
-        if any(mentions_sets(p) for p in premises) or any(
-            mentions_sets(g) for g in goals
-        ):
+        if any(mentions_sets(p) for p in premises) or any(mentions_sets(g) for g in goals):
             for qualifier, goal in zip(current, goals):
                 self.statistics.validity_checks += 1
                 if self._backend.is_valid_implication(premises, goal):
                     kept.append(qualifier)
         else:
-            self._backend.push()
-            try:
+            with self._backend.scoped():
                 for premise in premises:
                     self._backend.assert_(premise)
                 for qualifier, goal in zip(current, goals):
-                    self._backend.push()
-                    try:
+                    with self._backend.scoped():
                         self._backend.assert_(ops.not_(goal))
                         self.statistics.validity_checks += 1
                         if not self._backend.check():
                             kept.append(qualifier)
-                    finally:
-                        self._backend.pop()
-            finally:
-                self._backend.pop()
 
         dropped = len(current) - len(kept)
         if dropped:
@@ -192,9 +181,7 @@ class HornSolver:
             self.statistics.pruned_qualifiers += dropped
         return dropped > 0
 
-    def _constraint_valid(
-        self, constr: HornConstraint, assignment: Assignment
-    ) -> bool:
+    def _constraint_valid(self, constr: HornConstraint, assignment: Assignment) -> bool:
         premises = [apply_assignment(p, assignment) for p in constr.premises]
         conclusion = apply_assignment(constr.conclusion, assignment)
         self.statistics.validity_checks += 1

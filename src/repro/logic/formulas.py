@@ -297,9 +297,7 @@ def intern_formula(formula: Formula) -> Formula:
     if isinstance(formula, Unary):
         canonical: Formula = Unary(formula.op, intern_formula(formula.arg))
     elif isinstance(formula, Binary):
-        canonical = Binary(
-            formula.op, intern_formula(formula.lhs), intern_formula(formula.rhs)
-        )
+        canonical = Binary(formula.op, intern_formula(formula.lhs), intern_formula(formula.rhs))
     elif isinstance(formula, Ite):
         canonical = Ite(
             intern_formula(formula.cond),
@@ -320,10 +318,7 @@ def intern_formula(formula: Formula) -> Formula:
     elif isinstance(formula, Unknown) and formula.substitution:
         canonical = Unknown(
             formula.name,
-            tuple(
-                (name, intern_formula(value))
-                for name, value in formula.substitution
-            ),
+            tuple((name, intern_formula(value)) for name, value in formula.substitution),
         )
     else:
         canonical = formula

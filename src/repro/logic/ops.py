@@ -27,7 +27,7 @@ from .formulas import (
     is_false,
     is_true,
 )
-from .sorts import INT, SetSort, Sort
+from .sorts import SetSort, Sort
 
 
 # ---------------------------------------------------------------------------

@@ -18,18 +18,16 @@ from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from . import ops
 from .formulas import (
-    App,
-    Binary,
-    BinaryOp,
-    BoolLit,
     COMPARISON_OPS,
     EQUALITY_OPS,
+    SET_PREDICATES,
+    VALUE_VAR,
+    Binary,
+    BoolLit,
     Formula,
     IntLit,
-    SET_PREDICATES,
     Unary,
     UnaryOp,
-    VALUE_VAR,
     Var,
 )
 from .sorts import BOOL, INT, SetSort, Sort, UninterpretedSort, VarSort
@@ -111,10 +109,7 @@ def instantiate_qualifier(
     for choice in itertools.product(*slots):
         if len(set(choice)) < len(choice):
             continue  # skip trivially-reflexive instantiations like x <= x
-        mapping = {
-            name: value
-            for (name, _), value in zip(qualifier.placeholders, choice)
-        }
+        mapping = {name: value for (name, _), value in zip(qualifier.placeholders, choice)}
         yield substitute(qualifier.formula, mapping)
 
 

@@ -16,10 +16,8 @@ from .formulas import (
     BinaryOp,
     BoolLit,
     Formula,
-    IntLit,
     Unary,
     UnaryOp,
-    is_false,
     is_true,
 )
 from .transform import transform

@@ -1,0 +1,242 @@
+"""Sort checking of refinement terms (well-formedness, Sec. 3 of the paper).
+
+A refinement is *well-formed* in a scope when every variable it mentions is
+bound at the sort the scope assigns it and every interpreted symbol is
+applied at the sorts of its signature.  The type checker runs this on every
+refinement before it ever reaches the Horn solver, so ill-sorted formulas
+are reported as type errors at the program location that wrote them instead
+of surfacing as garbage SMT queries.
+
+:func:`check_sort` returns the sort of the term and raises :class:`SortError`
+with a human-readable path on any violation; :func:`check_refinement` is the
+common wrapper demanding sort ``Bool``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from .formulas import (
+    ARITH_OPS,
+    BOOLEAN_OPS,
+    COMPARISON_OPS,
+    EQUALITY_OPS,
+    SET_OPS,
+    App,
+    Binary,
+    BinaryOp,
+    BoolLit,
+    Formula,
+    IntLit,
+    Ite,
+    SetLit,
+    Unary,
+    UnaryOp,
+    Unknown,
+    Var,
+)
+from .qualifiers import sorts_compatible
+from .sorts import BOOL, INT, SetSort, Sort
+
+
+class SortError(TypeError):
+    """An ill-sorted refinement term.
+
+    ``formula`` is the offending subterm; the message spells out the
+    expected and actual sorts.
+    """
+
+    def __init__(self, message: str, formula: Formula) -> None:
+        super().__init__(f"{message} (in `{formula!r}`)")
+        self.formula = formula
+
+
+#: Optional signatures for uninterpreted functions: name -> (arg sorts, result).
+MeasureSignatures = Mapping[str, "tuple[tuple[Sort, ...], Sort]"]
+
+
+def check_sort(
+    formula: Formula,
+    scope: Mapping[str, Sort],
+    measures: Optional[MeasureSignatures] = None,
+) -> Sort:
+    """Sort-check ``formula`` against ``scope`` and return its sort.
+
+    ``scope`` maps every variable allowed to occur free to its sort; a
+    variable outside the scope, or inside it at a different sort, is an
+    error.  ``measures`` optionally constrains uninterpreted applications;
+    measures not listed are checked only for internal consistency.
+    """
+    if isinstance(formula, (BoolLit, IntLit)):
+        return formula.sort
+    if isinstance(formula, Var):
+        return _check_var(formula, scope)
+    if isinstance(formula, Unknown):
+        for _, value in formula.substitution:
+            check_sort(value, scope, measures)
+        return BOOL
+    if isinstance(formula, Unary):
+        return _check_unary(formula, scope, measures)
+    if isinstance(formula, Binary):
+        return _check_binary(formula, scope, measures)
+    if isinstance(formula, Ite):
+        return _check_ite(formula, scope, measures)
+    if isinstance(formula, App):
+        return _check_app(formula, scope, measures)
+    if isinstance(formula, SetLit):
+        return _check_set_lit(formula, scope, measures)
+    raise SortError(f"unknown formula node {type(formula).__name__}", formula)
+
+
+def check_refinement(
+    formula: Formula,
+    scope: Mapping[str, Sort],
+    measures: Optional[MeasureSignatures] = None,
+) -> None:
+    """Demand that ``formula`` is a well-formed boolean refinement."""
+    sort = check_sort(formula, scope, measures)
+    if sort != BOOL:
+        raise SortError(f"refinement must have sort Bool, got {sort}", formula)
+
+
+# ---------------------------------------------------------------------------
+# per-node rules
+# ---------------------------------------------------------------------------
+
+def _check_var(formula: Var, scope: Mapping[str, Sort]) -> Sort:
+    bound = scope.get(formula.name)
+    if bound is None:
+        raise SortError(f"unbound variable `{formula.name}`", formula)
+    if not sorts_compatible(formula.var_sort, bound):
+        raise SortError(
+            f"variable `{formula.name}` used at sort {formula.var_sort}, "
+            f"bound at sort {bound}",
+            formula,
+        )
+    return bound
+
+
+def _check_unary(
+    formula: Unary, scope: Mapping[str, Sort], measures: Optional[MeasureSignatures]
+) -> Sort:
+    arg_sort = check_sort(formula.arg, scope, measures)
+    wanted = BOOL if formula.op is UnaryOp.NOT else INT
+    if not sorts_compatible(arg_sort, wanted):
+        raise SortError(
+            f"operand of `{formula.op.value}` must have sort {wanted}, got {arg_sort}",
+            formula,
+        )
+    return wanted
+
+
+def _check_binary(
+    formula: Binary, scope: Mapping[str, Sort], measures: Optional[MeasureSignatures]
+) -> Sort:
+    op = formula.op
+    lhs = check_sort(formula.lhs, scope, measures)
+    rhs = check_sort(formula.rhs, scope, measures)
+    if op in ARITH_OPS or op in COMPARISON_OPS:
+        _demand(formula, lhs, INT, "left operand", op)
+        _demand(formula, rhs, INT, "right operand", op)
+        return INT if op in ARITH_OPS else BOOL
+    if op in BOOLEAN_OPS:
+        _demand(formula, lhs, BOOL, "left operand", op)
+        _demand(formula, rhs, BOOL, "right operand", op)
+        return BOOL
+    if op in EQUALITY_OPS:
+        if not sorts_compatible(lhs, rhs):
+            raise SortError(f"`{op.value}` compares incompatible sorts {lhs} and {rhs}", formula)
+        return BOOL
+    if op in SET_OPS:
+        _demand_set(formula, lhs, "left operand", op)
+        _demand_set(formula, rhs, "right operand", op)
+        if not sorts_compatible(lhs, rhs):
+            raise SortError(
+                f"`{op.value}` combines incompatible set sorts {lhs} and {rhs}",
+                formula,
+            )
+        return lhs
+    if op is BinaryOp.MEMBER:
+        _demand_set(formula, rhs, "right operand", op)
+        # A sort-variable set operand (polymorphic membership) passes the
+        # set demand without exposing an element sort to compare against.
+        if isinstance(rhs, SetSort) and not sorts_compatible(lhs, rhs.element):
+            raise SortError(f"`in` tests a {lhs} against a set of {rhs.element}", formula)
+        return BOOL
+    if op is BinaryOp.SUBSET:
+        _demand_set(formula, lhs, "left operand", op)
+        _demand_set(formula, rhs, "right operand", op)
+        if not sorts_compatible(lhs, rhs):
+            raise SortError(
+                f"`{op.value}` compares incompatible set sorts {lhs} and {rhs}",
+                formula,
+            )
+        return BOOL
+    raise SortError(f"unknown binary operator {op}", formula)
+
+
+def _check_ite(
+    formula: Ite, scope: Mapping[str, Sort], measures: Optional[MeasureSignatures]
+) -> Sort:
+    cond = check_sort(formula.cond, scope, measures)
+    if not sorts_compatible(cond, BOOL):
+        raise SortError(f"ite condition must have sort Bool, got {cond}", formula)
+    then_ = check_sort(formula.then_, scope, measures)
+    else_ = check_sort(formula.else_, scope, measures)
+    if not sorts_compatible(then_, else_):
+        raise SortError(f"ite branches have incompatible sorts {then_} and {else_}", formula)
+    return then_
+
+
+def _check_app(
+    formula: App, scope: Mapping[str, Sort], measures: Optional[MeasureSignatures]
+) -> Sort:
+    arg_sorts = [check_sort(arg, scope, measures) for arg in formula.args]
+    if measures is not None and formula.func in measures:
+        wanted_args, result = measures[formula.func]
+        if len(wanted_args) != len(arg_sorts):
+            raise SortError(
+                f"measure `{formula.func}` expects {len(wanted_args)} arguments, "
+                f"got {len(arg_sorts)}",
+                formula,
+            )
+        for index, (got, wanted) in enumerate(zip(arg_sorts, wanted_args)):
+            if not sorts_compatible(got, wanted):
+                raise SortError(
+                    f"argument {index} of measure `{formula.func}` must have "
+                    f"sort {wanted}, got {got}",
+                    formula,
+                )
+        if not sorts_compatible(formula.result_sort, result):
+            raise SortError(
+                f"measure `{formula.func}` returns {result}, "
+                f"used at {formula.result_sort}",
+                formula,
+            )
+    return formula.result_sort
+
+
+def _check_set_lit(
+    formula: SetLit, scope: Mapping[str, Sort], measures: Optional[MeasureSignatures]
+) -> Sort:
+    for element in formula.elements:
+        got = check_sort(element, scope, measures)
+        if not sorts_compatible(got, formula.element_sort):
+            raise SortError(f"set literal of {formula.element_sort} contains a {got}", formula)
+    return formula.sort
+
+
+def _demand(formula: Formula, got: Sort, wanted: Sort, which: str, op: BinaryOp) -> None:
+    if not sorts_compatible(got, wanted):
+        raise SortError(f"{which} of `{op.value}` must have sort {wanted}, got {got}", formula)
+
+
+def _demand_set(formula: Formula, got: Sort, which: str, op: BinaryOp) -> None:
+    if not isinstance(got, SetSort) and not _is_sort_var(got):
+        raise SortError(f"{which} of `{op.value}` must have a set sort, got {got}", formula)
+
+
+def _is_sort_var(sort: Sort) -> bool:
+    from .sorts import VarSort
+
+    return isinstance(sort, VarSort)

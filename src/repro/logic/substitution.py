@@ -57,9 +57,7 @@ def rename(formula: Formula, mapping: Mapping[str, str]) -> Formula:
     return transform(formula, replace)
 
 
-def apply_assignment(
-    formula: Formula, assignment: Mapping[str, Iterable[Formula]]
-) -> Formula:
+def apply_assignment(formula: Formula, assignment: Mapping[str, Iterable[Formula]]) -> Formula:
     """Replace each predicate unknown by the conjunction of its valuation.
 
     Unknowns missing from ``assignment`` are replaced by ``True`` (the empty

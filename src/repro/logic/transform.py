@@ -31,13 +31,7 @@ def transform(formula: Formula, fn: Callable[[Formula], Formula]) -> Formula:
     if isinstance(formula, Unary):
         return fn(Unary(formula.op, transform(formula.arg, fn)))
     if isinstance(formula, Binary):
-        return fn(
-            Binary(
-                formula.op,
-                transform(formula.lhs, fn),
-                transform(formula.rhs, fn),
-            )
-        )
+        return fn(Binary(formula.op, transform(formula.lhs, fn), transform(formula.rhs, fn)))
     if isinstance(formula, Ite):
         return fn(
             Ite(

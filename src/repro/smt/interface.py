@@ -19,7 +19,8 @@ validity / satisfiability queries.  Two layers serve them:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Iterable, Optional
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
 from ..logic import ops
 from ..logic.formulas import Formula
@@ -67,29 +68,33 @@ class SolverBackend(ABC):
 
     # -- conveniences shared by all backends --------------------------------
 
-    def check_assuming(self, formulas: Iterable[Formula]) -> bool:
-        """Satisfiability of the live assertions plus the given formulas."""
+    @contextmanager
+    def scoped(self) -> Iterator["SolverBackend"]:
+        """A ``with``-block assertion scope: ``push`` on entry, ``pop`` on
+        exit (even on error).  Long-lived consumers — a typing derivation
+        sharing one backend across many obligations — use this to keep
+        their scope discipline exception-safe."""
         self.push()
         try:
-            for formula in formulas:
-                self.assert_(formula)
-            return self.check()
+            yield self
         finally:
             self.pop()
 
-    def is_valid_implication(
-        self, premises: Iterable[Formula], conclusion: Formula
-    ) -> bool:
+    def check_assuming(self, formulas: Iterable[Formula]) -> bool:
+        """Satisfiability of the live assertions plus the given formulas."""
+        with self.scoped():
+            for formula in formulas:
+                self.assert_(formula)
+            return self.check()
+
+    def is_valid_implication(self, premises: Iterable[Formula], conclusion: Formula) -> bool:
         """Does the conjunction of ``premises`` entail ``conclusion`` (in the
         context of the live assertions)?"""
-        self.push()
-        try:
+        with self.scoped():
             for premise in premises:
                 self.assert_(premise)
             self.assert_(ops.not_(conclusion))
             return not self.check()
-        finally:
-            self.pop()
 
 
 # ---------------------------------------------------------------------------

@@ -1,8 +1,9 @@
 """A small DPLL SAT solver.
 
 This is the propositional core of the lazy SMT loop (``repro.smt.solver``)
-and the "map" solver of the MARCO-style MUS enumerator in
-``repro.typecheck.musfix``.  Clauses are lists of non-zero integers in DIMACS
+and the designated "map" solver of the MARCO-style MUS enumerator stubbed
+in :class:`repro.typecheck.musfix.MusFixSolver` (implementation tracked in
+ROADMAP).  Clauses are lists of non-zero integers in DIMACS
 convention: positive literal ``v`` means variable ``v`` is true, ``-v`` means
 it is false.
 
@@ -125,9 +126,7 @@ class SatSolver:
                     return result
             return None
 
-    def _propagate(
-        self, clauses: List[List[int]], assignment: Dict[int, bool]
-    ):
+    def _propagate(self, clauses: List[List[int]], assignment: Dict[int, bool]):
         """Simplify clauses under the assignment and run unit propagation.
 
         Returns ``(False, _)`` on conflict, otherwise ``(True, remaining)``.
@@ -172,9 +171,7 @@ class SatSolver:
         return max(counts, key=counts.get)
 
 
-def solve_clauses(
-    clauses: Iterable[Iterable[int]], assumptions: Sequence[int] = ()
-) -> SatResult:
+def solve_clauses(clauses: Iterable[Iterable[int]], assumptions: Sequence[int] = ()) -> SatResult:
     """One-shot convenience wrapper around :class:`SatSolver`."""
     solver = SatSolver()
     solver.add_clauses(clauses)

@@ -23,7 +23,7 @@ countermodel can always be shrunk to contain only named elements.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..logic import ops
 from ..logic.formulas import (
@@ -174,9 +174,7 @@ class SetEncoder:
                 for e in self._universe
             )
         witness = self._fresh_witness(self._element_sort(lhs))
-        return ops.not_(
-            ops.iff(self._membership(witness, lhs), self._membership(witness, rhs))
-        )
+        return ops.not_(ops.iff(self._membership(witness, lhs), self._membership(witness, rhs)))
 
     def _subset(self, lhs: Formula, rhs: Formula, positive: bool) -> Formula:
         if positive:
@@ -185,9 +183,7 @@ class SetEncoder:
                 for e in self._universe
             )
         witness = self._fresh_witness(self._element_sort(lhs))
-        return ops.and_(
-            self._membership(witness, lhs), ops.not_(self._membership(witness, rhs))
-        )
+        return ops.and_(self._membership(witness, lhs), ops.not_(self._membership(witness, rhs)))
 
 
 def eliminate_sets(formula: Formula, fresh_names: Optional[FreshNames] = None) -> Formula:

@@ -335,9 +335,7 @@ class IncrementalSolver(SolverBackend):
                 return False
             # Only atoms of live assertions that the search actually decided
             # constrain the theory; everything else is a don't-care.
-            literals = self._encoder.theory_literals(
-                result.model, active_atoms & result.assigned
-            )
+            literals = self._encoder.theory_literals(result.model, active_atoms & result.assigned)
             self.statistics.theory_checks += 1
             if self._theory.is_consistent(literals):
                 return True
@@ -367,14 +365,10 @@ class IncrementalSolver(SolverBackend):
                 self.pop()
         return super().check_assuming(formulas)
 
-    def is_valid_implication(
-        self, premises, conclusion: Formula
-    ) -> bool:
+    def is_valid_implication(self, premises, conclusion: Formula) -> bool:
         premises = list(premises)
         if mentions_sets(conclusion) or any(mentions_sets(p) for p in premises):
-            return not self.check_assuming(
-                [ops.and_(ops.conj(premises), ops.not_(conclusion))]
-            )
+            return not self.check_assuming([ops.and_(ops.conj(premises), ops.not_(conclusion))])
         return super().is_valid_implication(premises, conclusion)
 
     # -- internals -----------------------------------------------------------
@@ -398,9 +392,7 @@ class IncrementalSolver(SolverBackend):
             self._selector_atoms[selector] = self._encoder.atom_closure(processed)
         return selector
 
-    def _relevant_sat_solver(
-        self, assumptions: List[int], active_atoms: frozenset
-    ) -> SatSolver:
+    def _relevant_sat_solver(self, assumptions: List[int], active_atoms: frozenset) -> SatSolver:
         """A SAT solver primed with exactly the clauses this check needs:
         the active assertions' guard clauses and encodings, plus learned
         lemmas entirely over active atoms (lemmas touching an inactive atom
@@ -553,9 +545,7 @@ def _lift_ite(formula: Formula, fresh: FreshNames) -> Tuple[Formula, List[Formul
         if isinstance(node, Ite) and not isinstance(node.sort, BoolSort):
             fresh_var = fresh.fresh_var("ite", node.sort)
             definitions.append(ops.implies(node.cond, ops.eq(fresh_var, node.then_)))
-            definitions.append(
-                ops.implies(ops.not_(node.cond), ops.eq(fresh_var, node.else_))
-            )
+            definitions.append(ops.implies(ops.not_(node.cond), ops.eq(fresh_var, node.else_)))
             return fresh_var
         return node
 

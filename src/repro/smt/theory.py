@@ -18,14 +18,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from ..logic.formulas import (
+    COMPARISON_OPS,
     App,
     Binary,
     BinaryOp,
     BoolLit,
-    COMPARISON_OPS,
     Formula,
     IntLit,
     Ite,
@@ -34,10 +34,10 @@ from ..logic.formulas import (
     UnaryOp,
     Var,
 )
-from ..logic.sorts import BOOL, INT, IntSort, SetSort, Sort
+from ..logic.sorts import BOOL, IntSort
 from . import lia
 from .euf import CongruenceClosure, TermBank
-from .lia import Constraint, LinearExpr, LiaSolver, Relation
+from .lia import Constraint, LiaSolver, LinearExpr, Relation
 
 
 @dataclass(frozen=True)
@@ -102,9 +102,7 @@ class TheoryChecker:
                     [intern(term.cond), intern(term.then_), intern(term.else_)],
                 )
             elif isinstance(term, SetLit):
-                term_id = bank.apply(
-                    "setlit", [intern(element) for element in term.elements]
-                )
+                term_id = bank.apply("setlit", [intern(element) for element in term.elements])
             else:
                 term_id = bank.constant(f"opaque:{term!r}")
             term_ids[term] = term_id
@@ -190,9 +188,7 @@ class TheoryChecker:
         return LinearExpr.variable(f"t{term_id}")
 
     @staticmethod
-    def _comparison(
-        op: BinaryOp, lhs: LinearExpr, rhs: LinearExpr, polarity: bool
-    ) -> Constraint:
+    def _comparison(op: BinaryOp, lhs: LinearExpr, rhs: LinearExpr, polarity: bool) -> Constraint:
         """Translate a (possibly negated) integer comparison."""
         if not polarity:
             negated = {

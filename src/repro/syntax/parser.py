@@ -1,0 +1,400 @@
+"""A small surface parser for refinement formulas and types.
+
+Tests and the future CLI write signatures the way the paper does::
+
+    x:Int -> y:Int -> {Int | nu >= x && nu >= y}
+    {Int | nu != 0} -> Bool
+    xs:List Int -> {Int | nu >= len(xs)}
+
+The parser is scope-aware: variable occurrences inside refinements must be
+either arrow binders to their left or names in the caller-provided
+``scope`` mapping, and each occurrence is built at its binding sort, so a
+parsed formula is sort-correct by construction (it is additionally run
+through :func:`repro.logic.sortcheck.check_sort` to reject ill-sorted
+operator applications).  Measures (``len(xs)``) resolve through a
+``measures`` signature map.
+
+Only monotypes are parsed; schemas (type/predicate quantifiers) are built
+through :mod:`repro.syntax.types` directly — the quantifier prefix is
+trivial to assemble in code and keeping it out of the grammar keeps the
+parser small.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, NamedTuple, Optional
+
+from ..logic import ops
+from ..logic.formulas import Formula, value_var
+from ..logic.sortcheck import MeasureSignatures, check_sort
+from ..logic.sorts import BOOL, Sort
+from .types import (
+    BOOL_BASE,
+    INT_BASE,
+    BaseType,
+    DataBase,
+    FunctionType,
+    RType,
+    ScalarType,
+    TypeVarBase,
+    base_sort,
+)
+
+
+class ParseError(ValueError):
+    """A syntax or scoping error in surface text."""
+
+    def __init__(self, message: str, text: str, position: int) -> None:
+        super().__init__(f"{message} at position {position} in {text!r}")
+        self.position = position
+
+
+class _Token(NamedTuple):
+    kind: str
+    value: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<space>\s+)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_']*)
+  | (?P<symbol><==>|==>|->|&&|\|\||==|!=|<=|>=|<|>|[{}()\[\]|:,.+\-*!\\])
+    """,
+    re.VERBOSE,
+)
+
+_COMPARISONS = {
+    "==": ops.eq,
+    "!=": ops.neq,
+    "<=": ops.le,
+    "<": ops.lt,
+    ">=": ops.ge,
+    ">": ops.gt,
+}
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r}", text, position)
+        position = match.end()
+        kind = match.lastgroup or ""
+        if kind == "space":
+            continue
+        tokens.append(_Token(kind, match.group(), match.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(
+        self,
+        text: str,
+        scope: Mapping[str, Sort],
+        measures: Optional[MeasureSignatures],
+    ) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+        self.scope: Dict[str, Sort] = dict(scope)
+        self.measures = measures or {}
+        self.value_sort: Optional[Sort] = None
+        self._anonymous = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def accept(self, value: str) -> bool:
+        if self.peek().value == value and self.peek().kind != "eof":
+            self.advance()
+            return True
+        return False
+
+    def expect(self, value: str) -> _Token:
+        token = self.peek()
+        if token.value != value or token.kind == "eof":
+            raise ParseError(
+                f"expected {value!r}, found {token.value or 'end of input'!r}",
+                self.text,
+                token.position,
+            )
+        return self.advance()
+
+    def fail(self, message: str) -> ParseError:
+        return ParseError(message, self.text, self.peek().position)
+
+    # -- types ---------------------------------------------------------------
+
+    def type_(self) -> RType:
+        """``arrowType ::= [ident ':'] atomType '->' arrowType | atomType``"""
+        binder: Optional[str] = None
+        checkpoint = self.index
+        if (self.peek().kind == "ident" and self.tokens[self.index + 1].value == ":"):
+            binder = self.advance().value
+            self.advance()  # ':'
+        argument = self.atom_type()
+        if not self.accept("->"):
+            if binder is not None:
+                self.index = checkpoint
+                raise self.fail("binder without an arrow")
+            return argument
+        if binder is None:
+            binder = f"_arg{self._anonymous}"
+            self._anonymous += 1
+        outer = self.scope.get(binder)
+        if isinstance(argument, ScalarType):
+            self.scope[binder] = argument.sort
+        result = self.type_()
+        if outer is None:
+            self.scope.pop(binder, None)
+        else:
+            self.scope[binder] = outer
+        return FunctionType(binder, argument, result)
+
+    def atom_type(self) -> RType:
+        """``atomType ::= '{' base '|' formula '}' | '(' type ')' | base``"""
+        if self.accept("("):
+            inner = self.type_()
+            self.expect(")")
+            return inner
+        if self.accept("{"):
+            base = self.base_type()
+            self.expect("|")
+            saved = self.value_sort
+            self.value_sort = base_sort(base)
+            refinement = self.formula()
+            self.value_sort = saved
+            self.expect("}")
+            scalar = ScalarType(base, refinement)
+            self._check_refinement(scalar)
+            return scalar
+        return ScalarType(self.base_type())
+
+    def base_type(self) -> BaseType:
+        token = self.peek()
+        if token.kind != "ident":
+            raise self.fail("expected a base type")
+        name = self.advance().value
+        if name == "Int":
+            return INT_BASE
+        if name == "Bool":
+            return BOOL_BASE
+        if name[0].isupper():
+            # Haskell-style application: bare idents are nullary arguments
+            # (Int, Bool, nullary datatypes, type variables); an applied
+            # argument needs parentheses, e.g. ``Pair (List Int) Bool``.
+            args: List[RType] = []
+            while True:
+                token = self.peek()
+                if token.kind == "ident" and self.tokens[self.index + 1].value != ":":
+                    value = self.advance().value
+                    if value == "Int":
+                        args.append(ScalarType(INT_BASE))
+                    elif value == "Bool":
+                        args.append(ScalarType(BOOL_BASE))
+                    elif value[0].isupper():
+                        args.append(ScalarType(DataBase(value)))
+                    else:
+                        args.append(ScalarType(TypeVarBase(value)))
+                elif token.value == "(" and token.kind == "symbol":
+                    self.advance()
+                    args.append(self.type_())
+                    self.expect(")")
+                else:
+                    break
+            return DataBase(name, tuple(args))
+        return TypeVarBase(name)
+
+    def _check_refinement(self, scalar: ScalarType) -> None:
+        scope = dict(self.scope)
+        scope[value_var(scalar.sort).name] = scalar.sort
+        sort = check_sort(scalar.refinement, scope, self.measures)
+        if sort != BOOL:
+            raise self.fail(f"refinement must have sort Bool, got {sort}")
+
+    # -- formulas (precedence climbing) --------------------------------------
+
+    def formula(self) -> Formula:
+        return self.iff_level()
+
+    def iff_level(self) -> Formula:
+        lhs = self.implies_level()
+        while self.accept("<==>"):
+            lhs = ops.iff(lhs, self.implies_level())
+        return lhs
+
+    def implies_level(self) -> Formula:
+        lhs = self.or_level()
+        if self.accept("==>"):
+            return ops.implies(lhs, self.implies_level())
+        return lhs
+
+    def or_level(self) -> Formula:
+        lhs = self.and_level()
+        while self.accept("||"):
+            lhs = ops.or_(lhs, self.and_level())
+        return lhs
+
+    def and_level(self) -> Formula:
+        lhs = self.compare_level()
+        while self.accept("&&"):
+            lhs = ops.and_(lhs, self.compare_level())
+        return lhs
+
+    def compare_level(self) -> Formula:
+        lhs = self.additive_level()
+        token = self.peek()
+        if token.value in _COMPARISONS and token.kind == "symbol":
+            self.advance()
+            return _COMPARISONS[token.value](lhs, self.additive_level())
+        if token.kind == "ident" and token.value == "in":
+            self.advance()
+            return ops.member(lhs, self.additive_level())
+        return lhs
+
+    def additive_level(self) -> Formula:
+        lhs = self.multiplicative_level()
+        while True:
+            if self.accept("+"):
+                lhs = ops.plus(lhs, self.multiplicative_level())
+            elif self.accept("-"):
+                lhs = ops.minus(lhs, self.multiplicative_level())
+            else:
+                return lhs
+
+    def multiplicative_level(self) -> Formula:
+        lhs = self.unary_level()
+        while self.accept("*"):
+            lhs = ops.times(lhs, self.unary_level())
+        return lhs
+
+    def unary_level(self) -> Formula:
+        if self.accept("!"):
+            return ops.not_(self.unary_level())
+        if self.accept("-"):
+            return ops.neg(self.unary_level())
+        return self.atom()
+
+    def atom(self) -> Formula:
+        token = self.peek()
+        if token.kind == "int":
+            self.advance()
+            return ops.int_lit(int(token.value))
+        if token.value == "(":
+            self.advance()
+            inner = self.formula()
+            self.expect(")")
+            return inner
+        if token.value == "[":
+            return self.set_literal()
+        if token.kind == "ident":
+            return self.identifier()
+        raise self.fail(f"expected a formula atom, found {token.value or 'end of input'!r}")
+
+    def set_literal(self) -> Formula:
+        self.expect("[")
+        if self.accept("]"):
+            raise self.fail("empty set literals need an element sort; use ops.empty_set")
+        elements = [self.formula()]
+        while self.accept(","):
+            elements.append(self.formula())
+        self.expect("]")
+        return ops.set_lit(elements[0].sort, elements)
+
+    def identifier(self) -> Formula:
+        token = self.advance()
+        name = token.value
+        if name == "True":
+            return ops.bool_lit(True)
+        if name == "False":
+            return ops.bool_lit(False)
+        if name in ("nu", "_v"):
+            if self.value_sort is None:
+                raise ParseError(
+                    "the value variable is only available inside a refinement",
+                    self.text,
+                    token.position,
+                )
+            return value_var(self.value_sort)
+        if self.peek().value == "(" and self.peek().kind == "symbol":
+            return self.measure_app(name, token)
+        sort = self.scope.get(name)
+        if sort is None:
+            raise ParseError(f"unbound variable `{name}`", self.text, token.position)
+        return ops.var(name, sort)
+
+    def measure_app(self, name: str, token: _Token) -> Formula:
+        signature = self.measures.get(name)
+        if signature is None:
+            raise ParseError(f"unknown measure `{name}`", self.text, token.position)
+        arg_sorts, result_sort = signature
+        self.expect("(")
+        args = [self.formula()]
+        while self.accept(","):
+            args.append(self.formula())
+        self.expect(")")
+        if len(args) != len(arg_sorts):
+            raise ParseError(
+                f"measure `{name}` expects {len(arg_sorts)} arguments, got {len(args)}",
+                self.text,
+                token.position,
+            )
+        return ops.app(name, args, result_sort)
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def parse_type(
+    text: str,
+    scope: Optional[Mapping[str, Sort]] = None,
+    measures: Optional[MeasureSignatures] = None,
+) -> RType:
+    """Parse a refinement type; arrow binders scope over refinements to
+    their right, ``scope`` supplies any other free variables."""
+    parser = _Parser(text, scope or {}, measures)
+    result = parser.type_()
+    _expect_eof(parser)
+    return result
+
+
+def parse_formula(
+    text: str,
+    scope: Optional[Mapping[str, Sort]] = None,
+    value_sort: Optional[Sort] = None,
+    measures: Optional[MeasureSignatures] = None,
+) -> Formula:
+    """Parse a refinement formula; pass ``value_sort`` to make ``nu``
+    available.  The result is sort-checked before it is returned."""
+    parser = _Parser(text, scope or {}, measures)
+    parser.value_sort = value_sort
+    result = parser.formula()
+    _expect_eof(parser)
+    check_scope: Dict[str, Sort] = dict(scope or {})
+    if value_sort is not None:
+        check_scope[value_var(value_sort).name] = value_sort
+    check_sort(result, check_scope, measures)
+    return result
+
+
+def _expect_eof(parser: _Parser) -> None:
+    token = parser.peek()
+    if token.kind != "eof":
+        raise ParseError(f"trailing input {token.value!r}", parser.text, token.position)

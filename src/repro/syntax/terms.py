@@ -1,0 +1,217 @@
+"""Program terms (Fig. 2 of the paper).
+
+The paper splits terms into *elimination* terms ``E`` (variables and
+applications — terms whose type is inferred) and *introduction* terms ``I``
+(lambdas, conditionals, matches, fixpoints — terms checked against a goal
+type).  The round-trip enumerator of Sec. 4 leans on that split; here it
+drives the bidirectional checker's mode choice.
+
+.. code-block:: text
+
+    E ::= x | c | E E
+    I ::= E | \\x . I | if E then I else I | match E with alts | fix f . I
+
+``Match`` and ``Fix`` are represented but their typing rules are
+deliberately unimplemented in this layer (see ROADMAP: match elaboration
+and termination metrics arrive with the enumerator); the checker reports
+them as unsupported rather than mis-typing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .types import RType
+
+
+class Term:
+    """Base class of program terms."""
+
+    def is_e_term(self) -> bool:
+        """Is this an elimination term (type can be inferred)?"""
+        return isinstance(self, (VarTerm, IntConst, BoolConst, AppTerm, Annot))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return pretty_term(self)
+
+
+@dataclass(frozen=True, repr=False)
+class VarTerm(Term):
+    """A program variable occurrence."""
+
+    name: str
+
+
+@dataclass(frozen=True, repr=False)
+class IntConst(Term):
+    """An integer constant."""
+
+    value: int
+
+
+@dataclass(frozen=True, repr=False)
+class BoolConst(Term):
+    """A boolean constant."""
+
+    value: bool
+
+
+@dataclass(frozen=True, repr=False)
+class AppTerm(Term):
+    """Application ``fun arg`` (curried, one argument at a time)."""
+
+    fun: Term
+    arg: Term
+
+
+@dataclass(frozen=True, repr=False)
+class LambdaTerm(Term):
+    """Abstraction ``\\arg_name . body``."""
+
+    arg_name: str
+    body: Term
+
+
+@dataclass(frozen=True, repr=False)
+class IfTerm(Term):
+    """Conditional ``if cond then then_ else else_``."""
+
+    cond: Term
+    then_: Term
+    else_: Term
+
+
+@dataclass(frozen=True, repr=False)
+class LetTerm(Term):
+    """``let name = value in body`` (monomorphic let)."""
+
+    name: str
+    value: Term
+    body: Term
+
+
+@dataclass(frozen=True, repr=False)
+class MatchCase(Term):
+    """One alternative ``C x1 ... xk -> body`` of a match."""
+
+    constructor: str
+    binders: Tuple[str, ...]
+    body: Term
+
+
+@dataclass(frozen=True, repr=False)
+class MatchTerm(Term):
+    """``match scrutinee with cases`` — elaboration is a later PR."""
+
+    scrutinee: Term
+    cases: Tuple[MatchCase, ...]
+
+
+@dataclass(frozen=True, repr=False)
+class FixTerm(Term):
+    """``fix name . body`` — recursion, awaiting termination metrics."""
+
+    name: str
+    body: Term
+
+
+@dataclass(frozen=True, repr=False)
+class Annot(Term):
+    """A term with a type ascription ``(term :: rtype)``."""
+
+    term: Term
+    rtype: RType
+
+
+# ---------------------------------------------------------------------------
+# builders
+# ---------------------------------------------------------------------------
+
+
+def v(name: str) -> VarTerm:
+    """A variable occurrence."""
+    return VarTerm(name)
+
+
+def lit(value: "int | bool") -> Term:
+    """An integer or boolean constant."""
+    if isinstance(value, bool):
+        return BoolConst(value)
+    return IntConst(value)
+
+
+def app(fun: Term, *args: Term) -> Term:
+    """Curried application of ``fun`` to one or more arguments."""
+    if not args:
+        raise ValueError("app needs at least one argument")
+    result = fun
+    for arg in args:
+        result = AppTerm(result, arg)
+    return result
+
+
+def lam(*arg_names: str, body: Optional[Term] = None) -> Term:
+    """Nested lambdas: ``lam("x", "y", body=e)`` is ``\\x . \\y . e``."""
+    if body is None:
+        raise ValueError("lam needs a body")
+    result = body
+    for name in reversed(arg_names):
+        result = LambdaTerm(name, result)
+    return result
+
+
+def if_(cond: Term, then_: Term, else_: Term) -> IfTerm:
+    """A conditional."""
+    return IfTerm(cond, then_, else_)
+
+
+def let(name: str, value: Term, body: Term) -> LetTerm:
+    """A monomorphic let binding."""
+    return LetTerm(name, value, body)
+
+
+def annot(term: Term, rtype: RType) -> Annot:
+    """A type ascription."""
+    return Annot(term, rtype)
+
+
+# ---------------------------------------------------------------------------
+# pretty printing
+# ---------------------------------------------------------------------------
+
+
+def pretty_term(term: Term) -> str:
+    """Render a term in surface syntax."""
+    if isinstance(term, VarTerm):
+        return term.name
+    if isinstance(term, IntConst):
+        return str(term.value)
+    if isinstance(term, BoolConst):
+        return "True" if term.value else "False"
+    if isinstance(term, AppTerm):
+        arg = pretty_term(term.arg)
+        if isinstance(term.arg, (AppTerm, LambdaTerm, IfTerm)):
+            arg = f"({arg})"
+        return f"{pretty_term(term.fun)} {arg}"
+    if isinstance(term, LambdaTerm):
+        return f"\\{term.arg_name} . {pretty_term(term.body)}"
+    if isinstance(term, IfTerm):
+        return (
+            f"if {pretty_term(term.cond)} "
+            f"then {pretty_term(term.then_)} "
+            f"else {pretty_term(term.else_)}"
+        )
+    if isinstance(term, LetTerm):
+        return f"let {term.name} = {pretty_term(term.value)} in {pretty_term(term.body)}"
+    if isinstance(term, MatchCase):
+        binders = " ".join(term.binders)
+        return f"{term.constructor} {binders} -> {pretty_term(term.body)}"
+    if isinstance(term, MatchTerm):
+        cases = " | ".join(pretty_term(case) for case in term.cases)
+        return f"match {pretty_term(term.scrutinee)} with {cases}"
+    if isinstance(term, FixTerm):
+        return f"fix {term.name} . {pretty_term(term.body)}"
+    if isinstance(term, Annot):
+        return f"({pretty_term(term.term)} :: {term.rtype!r})"
+    raise TypeError(f"unknown term node: {term!r}")

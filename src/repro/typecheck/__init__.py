@@ -1,0 +1,38 @@
+"""Refinement type checking: subtyping reduced to Horn constraints.
+
+The fifth layer of the reproduction (Sec. 3 of the paper): typing
+environments with embeddings into the refinement logic, a bidirectional
+checker whose subtyping judgment emits Horn constraints over fresh
+predicate unknowns, and the :class:`TypecheckSession` that accumulates the
+system and solves it with :class:`repro.horn.HornSolver` over one shared
+incremental SMT backend.
+"""
+
+from .checker import check, infer, subtype, well_formed
+from .environment import EMPTY, Environment
+from .errors import (
+    ShapeError,
+    SubtypingError,
+    TypecheckError,
+    UnsupportedTermError,
+    WellFormednessError,
+)
+from .musfix import MusFixSolver
+from .session import TypecheckResult, TypecheckSession
+
+__all__ = [
+    "EMPTY",
+    "Environment",
+    "MusFixSolver",
+    "ShapeError",
+    "SubtypingError",
+    "TypecheckError",
+    "TypecheckResult",
+    "TypecheckSession",
+    "UnsupportedTermError",
+    "WellFormednessError",
+    "check",
+    "infer",
+    "subtype",
+    "well_formed",
+]

@@ -1,0 +1,449 @@
+"""The bidirectional refinement type checker (Sec. 3 of the paper).
+
+Typing is split into two mutually recursive judgments:
+
+* :func:`infer` — elimination terms (variables, constants, applications,
+  ascriptions) *produce* a type.  Variable lookups are selfified
+  (``x : {B | psi && nu == x}``) so dependent application can talk about
+  the argument precisely; applications substitute the argument into the
+  callee's result type, or produce a :class:`ContextualType` binding a
+  fresh name when the argument is not representable as a refinement term.
+
+* :func:`check` — introduction terms (lambdas, conditionals, lets) are
+  checked *against* a goal type.  Conditionals check each branch under the
+  guard extracted from the scrutinee's refinement; the catch-all case
+  infers a type and delegates to :func:`subtype`.
+
+:func:`subtype` reduces ``Γ ⊢ T1 <: T2`` to Horn constraints: for scalars
+it emits ``⟦Γ⟧ && [nu-normalized] psi1 ==> psi2`` (split into one
+constraint per conjunct of ``psi2``, so conclusions are either a lone
+predicate unknown or unknown-free, as the Horn solver requires); for
+arrows it recurses contravariantly on arguments and covariantly on
+results.  Every emitted constraint carries the provenance trail of the
+obligation that produced it, so an unsolvable system names the program
+location at fault.
+
+``match`` and ``fix`` are recognised but rejected with
+:class:`UnsupportedTermError` — their elaboration (plus termination
+metrics) ships with the round-trip enumerator; see ROADMAP.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from ..logic import ops
+from ..logic.formulas import FALSE, TRUE, Formula, Var, value_var
+from ..logic.simplify import simplify
+from ..logic.sortcheck import SortError, check_refinement
+from ..logic.sorts import BOOL, INT, VarSort
+from ..logic.substitution import instantiate_value_var, substitute
+from ..syntax.terms import (
+    Annot,
+    AppTerm,
+    BoolConst,
+    FixTerm,
+    IfTerm,
+    IntConst,
+    LambdaTerm,
+    LetTerm,
+    MatchTerm,
+    Term,
+    VarTerm,
+)
+from ..syntax.types import (
+    BOOL_BASE,
+    INT_BASE,
+    ContextualType,
+    DataBase,
+    FunctionType,
+    RType,
+    ScalarType,
+    TypeSchema,
+    same_shape,
+    substitute_in_type,
+    type_free_vars,
+)
+from .environment import Environment
+from .errors import (
+    ShapeError,
+    TypecheckError,
+    UnsupportedTermError,
+    WellFormednessError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .session import TypecheckSession
+
+Provenance = Tuple[str, ...]
+
+
+# ---------------------------------------------------------------------------
+# well-formedness
+# ---------------------------------------------------------------------------
+
+
+def well_formed(session: "TypecheckSession", env: Environment, rtype: RType) -> None:
+    """Demand every refinement in ``rtype`` is a boolean formula over the
+    variables in scope, raising :class:`WellFormednessError` otherwise."""
+    scope = env.sort_scope()
+
+    def walk(node: RType, local: dict) -> None:
+        if isinstance(node, ScalarType):
+            refinement_scope = dict(local)
+            refinement_scope[value_var(node.sort).name] = node.sort
+            try:
+                check_refinement(node.refinement, refinement_scope, session.measures)
+            except SortError as error:
+                raise WellFormednessError(
+                    f"ill-formed refinement in {node!r}: {error}"
+                ) from error
+            return
+        if isinstance(node, FunctionType):
+            walk(node.arg_type, local)
+            inner = dict(local)
+            if isinstance(node.arg_type, ScalarType):
+                inner[node.arg_name] = node.arg_type.sort
+            walk(node.result_type, inner)
+            return
+        if isinstance(node, ContextualType):
+            inner = dict(local)
+            for name, bound in node.bindings:
+                walk(bound, inner)
+                if isinstance(bound, ScalarType):
+                    inner[name] = bound.sort
+            walk(node.body, inner)
+            return
+        raise WellFormednessError(f"unknown type node: {node!r}")
+
+    walk(rtype, scope)
+
+
+# ---------------------------------------------------------------------------
+# inference (elimination terms)
+# ---------------------------------------------------------------------------
+
+
+def infer(
+    session: "TypecheckSession",
+    env: Environment,
+    term: Term,
+    where: Provenance = (),
+) -> RType:
+    """Infer the type of an elimination term."""
+    if isinstance(term, VarTerm):
+        return _infer_var(session, env, term, where)
+    if isinstance(term, IntConst):
+        return ScalarType(INT_BASE, ops.eq(value_var(INT), ops.int_lit(term.value)))
+    if isinstance(term, BoolConst):
+        return ScalarType(BOOL_BASE, ops.iff(value_var(BOOL), ops.bool_lit(term.value)))
+    if isinstance(term, AppTerm):
+        return _infer_app(session, env, term, where)
+    if isinstance(term, Annot):
+        well_formed(session, env, term.rtype)
+        check(session, env, term.term, term.rtype, where + ("ascription",))
+        return term.rtype
+    if isinstance(term, (MatchTerm, FixTerm)):
+        raise UnsupportedTermError(
+            f"{type(term).__name__} is not supported yet (match elaboration and "
+            "termination metrics arrive with the enumerator; see ROADMAP) "
+            f"at {_pretty_where(where)}"
+        )
+    raise TypecheckError(
+        f"cannot infer a type for the introduction term `{term!r}` "
+        f"at {_pretty_where(where)}; check it against a goal type instead"
+    )
+
+
+def _infer_var(
+    session: "TypecheckSession", env: Environment, term: VarTerm, where: Provenance
+) -> RType:
+    bound = env.lookup(term.name)
+    if bound is None:
+        raise TypecheckError(f"unbound variable `{term.name}` at {_pretty_where(where)}")
+    if isinstance(bound, TypeSchema):
+        bound = session.instantiate(bound, env)
+    if isinstance(bound, ScalarType):
+        # Selfification: x : {B | psi && nu == x} (Sec. 3.3) — the precise
+        # singleton type dependent application relies on.
+        nu = value_var(bound.sort)
+        return ScalarType(
+            bound.base,
+            ops.and_(bound.refinement, ops.eq(nu, Var(term.name, bound.sort))),
+        )
+    return bound
+
+
+def _infer_app(
+    session: "TypecheckSession", env: Environment, term: AppTerm, where: Provenance
+) -> RType:
+    fun_type = infer(session, env, term.fun, where + ("function",))
+    context: Tuple[Tuple[str, RType], ...] = ()
+    if isinstance(fun_type, ContextualType):
+        context = fun_type.bindings
+        fun_type = fun_type.body
+    if not isinstance(fun_type, FunctionType):
+        raise ShapeError(
+            f"`{term.fun!r}` of type `{fun_type!r}` is applied but is not a "
+            f"function, at {_pretty_where(where)}"
+        )
+    inner_env = env.bind_all(context)
+    argument = _as_refinement_term(inner_env, term.arg)
+    if argument is not None:
+        check(session, inner_env, term.arg, fun_type.arg_type, where + ("argument",))
+        result = substitute_in_type(fun_type.result_type, {fun_type.arg_name: argument})
+        return ContextualType(context, result) if context else result
+
+    dependent = fun_type.arg_name in type_free_vars(fun_type.result_type)
+    if not term.arg.is_e_term():
+        # Introduction terms (lambdas, conditionals) have no inferred type:
+        # check them directly.  They cannot occur in refinements, so a
+        # dependent position cannot be satisfied by one.
+        check(session, inner_env, term.arg, fun_type.arg_type, where + ("argument",))
+        if dependent:
+            raise ShapeError(
+                f"argument `{term.arg!r}` of a dependent application must be "
+                f"scalar-typed, at {_pretty_where(where)}"
+            )
+        result = fun_type.result_type
+        return ContextualType(context, result) if context else result
+
+    # E-term argument without a refinement-term translation: infer its type
+    # once (a check would walk the argument a second time) and, when the
+    # result type needs the value, name it with a fresh contextual binding
+    # (Sec. 3.2) and substitute the name instead.
+    arg_type = infer(session, inner_env, term.arg, where + ("argument",))
+    if isinstance(arg_type, ContextualType):
+        context = context + arg_type.bindings
+        inner_env = env.bind_all(context)
+        arg_type = arg_type.body
+    subtype(session, inner_env, arg_type, fun_type.arg_type, where + ("argument",))
+    if not dependent:
+        result = fun_type.result_type
+        return ContextualType(context, result) if context else result
+    if not isinstance(arg_type, ScalarType):
+        raise ShapeError(
+            f"argument `{term.arg!r}` of a dependent application must be "
+            f"scalar-typed, got `{arg_type!r}`, at {_pretty_where(where)}"
+        )
+    fresh = session.fresh_name("ctx")
+    context = context + ((fresh, arg_type),)
+    result = substitute_in_type(
+        fun_type.result_type, {fun_type.arg_name: Var(fresh, arg_type.sort)}
+    )
+    return ContextualType(context, result)
+
+
+def _as_refinement_term(env: Environment, term: Term) -> Optional[Formula]:
+    """The refinement-logic translation of an E-term, when one exists."""
+    if isinstance(term, IntConst):
+        return ops.int_lit(term.value)
+    if isinstance(term, BoolConst):
+        return ops.bool_lit(term.value)
+    if isinstance(term, VarTerm):
+        bound = env.lookup(term.name)
+        if isinstance(bound, ScalarType):
+            return Var(term.name, bound.sort)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# checking (introduction terms)
+# ---------------------------------------------------------------------------
+
+
+def check(
+    session: "TypecheckSession",
+    env: Environment,
+    term: Term,
+    goal: RType,
+    where: Provenance = (),
+) -> None:
+    """Check ``term`` against ``goal``, emitting subtyping constraints."""
+    if isinstance(goal, ContextualType):
+        check(session, env.bind_all(goal.bindings), term, goal.body, where)
+        return
+    if isinstance(term, LambdaTerm):
+        _check_lambda(session, env, term, goal, where)
+        return
+    if isinstance(term, IfTerm):
+        _check_if(session, env, term, goal, where)
+        return
+    if isinstance(term, LetTerm):
+        value_type = infer(session, env, term.value, where + (f"let {term.name}",))
+        env, renamed = env.unshadow(term.name)
+        if renamed:
+            value_type = substitute_in_type(value_type, renamed)
+            goal = substitute_in_type(goal, renamed)
+        check(
+            session,
+            env.bind(term.name, value_type),
+            term.body,
+            goal,
+            where + ("let body",),
+        )
+        return
+    if isinstance(term, (MatchTerm, FixTerm)):
+        raise UnsupportedTermError(
+            f"{type(term).__name__} is not supported yet (match elaboration and "
+            "termination metrics arrive with the enumerator; see ROADMAP) "
+            f"at {_pretty_where(where)}"
+        )
+    inferred = infer(session, env, term, where)
+    subtype(session, env, inferred, goal, where)
+
+
+def _check_lambda(
+    session: "TypecheckSession",
+    env: Environment,
+    term: LambdaTerm,
+    goal: RType,
+    where: Provenance,
+) -> None:
+    if not isinstance(goal, FunctionType):
+        raise ShapeError(
+            f"lambda checked against the non-function type `{goal!r}` "
+            f"at {_pretty_where(where)}"
+        )
+    binder = term.arg_name
+    # A binder reusing an in-scope name must not capture the context's
+    # facts about the outer variable (branch guards, refinements): rename
+    # the outer one out of the way first.  The substitution is applied to
+    # the arrow as a whole so occurrences bound by the goal's own binder
+    # are left alone.
+    env, renamed = env.unshadow(binder)
+    if renamed:
+        goal = substitute_in_type(goal, renamed)
+    goal_arg = goal.arg_type
+    result = goal.result_type
+    if binder != goal.arg_name:
+        if binder in type_free_vars(result):
+            raise TypecheckError(
+                f"lambda binder `{binder}` collides with a variable free in the "
+                f"goal type `{goal!r}`; alpha-rename the program, "
+                f"at {_pretty_where(where)}"
+            )
+        if isinstance(goal_arg, ScalarType):
+            result = substitute_in_type(result, {goal.arg_name: Var(binder, goal_arg.sort)})
+    inner = env.bind(binder, goal_arg)
+    check(session, inner, term.body, result, where + (f"\\{binder}",))
+
+
+def _check_if(
+    session: "TypecheckSession",
+    env: Environment,
+    term: IfTerm,
+    goal: RType,
+    where: Provenance,
+) -> None:
+    cond_type = infer(session, env, term.cond, where + ("condition",))
+    context: Tuple[Tuple[str, RType], ...] = ()
+    if isinstance(cond_type, ContextualType):
+        context = cond_type.bindings
+        cond_type = cond_type.body
+    if not (isinstance(cond_type, ScalarType) and cond_type.base == BOOL_BASE):
+        raise ShapeError(
+            f"condition `{term.cond!r}` has type `{cond_type!r}`, expected Bool, "
+            f"at {_pretty_where(where)}"
+        )
+    branch_env = env.bind_all(context)
+    guard = simplify(instantiate_value_var(cond_type.refinement, TRUE))
+    refuted = simplify(instantiate_value_var(cond_type.refinement, FALSE))
+    check(session, branch_env.assume(guard), term.then_, goal, where + ("then-branch",))
+    check(session, branch_env.assume(refuted), term.else_, goal, where + ("else-branch",))
+
+
+# ---------------------------------------------------------------------------
+# subtyping: reduction to Horn constraints
+# ---------------------------------------------------------------------------
+
+
+def subtype(
+    session: "TypecheckSession",
+    env: Environment,
+    sub: RType,
+    sup: RType,
+    where: Provenance = (),
+) -> None:
+    """Reduce ``Γ ⊢ sub <: sup`` to Horn constraints on the session."""
+    if isinstance(sub, ContextualType):
+        subtype(session, env.bind_all(sub.bindings), sub.body, sup, where)
+        return
+    if isinstance(sup, ContextualType):
+        subtype(session, env.bind_all(sup.bindings), sub, sup.body, where)
+        return
+    if isinstance(sub, ScalarType) and isinstance(sup, ScalarType):
+        if not same_shape(sub, sup):
+            raise ShapeError(
+                f"`{sub!r}` is not a subtype of `{sup!r}`: base types differ, "
+                f"at {_pretty_where(where)}"
+            )
+        _scalar_subtype(session, env, sub, sup, where)
+        return
+    if isinstance(sub, FunctionType) and isinstance(sup, FunctionType):
+        _arrow_subtype(session, env, sub, sup, where)
+        return
+    raise ShapeError(
+        f"`{sub!r}` is not a subtype of `{sup!r}`: shapes differ, "
+        f"at {_pretty_where(where)}"
+    )
+
+
+def _scalar_subtype(
+    session: "TypecheckSession",
+    env: Environment,
+    sub: ScalarType,
+    sup: ScalarType,
+    where: Provenance,
+) -> None:
+    # Normalize both value variables to one concrete sort so the premises
+    # and the conclusion talk about the same logical variable.
+    sort = sub.sort if not isinstance(sub.sort, VarSort) else sup.sort
+    nu = value_var(sort)
+    lhs = substitute(sub.refinement, {nu.name: nu})
+    rhs = substitute(sup.refinement, {nu.name: nu})
+    premises = env.embedding()
+    premises.append(lhs)
+    session.emit(premises, rhs, where + (f"{sub!r} <: {sup!r}",))
+    # Datatype type arguments are covariant (as in Synquid): their
+    # element-level obligations must be emitted too, or `List Int <:
+    # List {Int | nu > 0}` would be silently accepted.
+    if isinstance(sub.base, DataBase) and isinstance(sup.base, DataBase):
+        for index, (sub_arg, sup_arg) in enumerate(zip(sub.base.args, sup.base.args)):
+            subtype(session, env, sub_arg, sup_arg, where + (f"type argument {index}",))
+
+
+def _arrow_subtype(
+    session: "TypecheckSession",
+    env: Environment,
+    sub: FunctionType,
+    sup: FunctionType,
+    where: Provenance,
+) -> None:
+    binder = sup.arg_name
+    # As in _check_lambda: protect outer facts about a same-named variable,
+    # renaming whole arrows so their own binders' occurrences stay bound.
+    env, renamed = env.unshadow(binder)
+    if renamed:
+        sub = substitute_in_type(sub, renamed)
+        sup = substitute_in_type(sup, renamed)
+        assert isinstance(sub, FunctionType) and isinstance(sup, FunctionType)
+        binder = sup.arg_name
+    sup_arg, sub_arg = sup.arg_type, sub.arg_type
+    sub_result, sup_result = sub.result_type, sup.result_type
+    subtype(session, env, sup_arg, sub_arg, where + ("argument (contravariant)",))
+    if sub.arg_name != binder:
+        if binder in type_free_vars(sub_result):
+            raise TypecheckError(
+                f"binder `{binder}` of `{sup!r}` collides with a variable free "
+                f"in `{sub!r}`; alpha-rename one of the signatures, "
+                f"at {_pretty_where(where)}"
+            )
+        if isinstance(sub_arg, ScalarType):
+            sub_result = substitute_in_type(sub_result, {sub.arg_name: Var(binder, sub_arg.sort)})
+    inner = env.bind(binder, sup_arg)
+    subtype(session, inner, sub_result, sup_result, where + ("result",))
+
+
+def _pretty_where(where: Provenance) -> str:
+    return " / ".join(where) if where else "<top level>"

@@ -1,0 +1,45 @@
+"""Typed errors raised by the refinement type checker.
+
+Every error carries enough provenance to name the program location and —
+for refinement-level failures — the exact Horn constraint whose
+unsolvability refuted the program, so messages read like
+``subtyping obligation failed at max / if / then-branch: ... ==> ...``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..horn.constraints import HornConstraint
+
+
+class TypecheckError(TypeError):
+    """Base class of all checker failures."""
+
+
+class ShapeError(TypecheckError):
+    """The simple-type skeletons of two types do not match (e.g. an arrow
+    where a scalar is required)."""
+
+
+class WellFormednessError(TypecheckError):
+    """A refinement is ill-sorted or mentions out-of-scope variables."""
+
+
+class UnsupportedTermError(TypecheckError):
+    """A term form whose typing rule is not implemented in this layer
+    (match elaboration and fixpoints arrive with the enumerator; see
+    ROADMAP)."""
+
+
+class SubtypingError(TypecheckError):
+    """A subtyping obligation is invalid under *every* valuation of the
+    predicate unknowns — the Horn solver refuted the program.
+
+    ``constraint`` is the failing definite constraint; its provenance names
+    the subtyping obligation that produced it.
+    """
+
+    def __init__(self, message: str, constraint: Optional[HornConstraint] = None) -> None:
+        super().__init__(message)
+        self.constraint = constraint

@@ -1,0 +1,211 @@
+"""Typechecking sessions: constraint accumulation and Horn solving.
+
+A :class:`TypecheckSession` is the mutable half of the checker: the
+bidirectional judgments in :mod:`repro.typecheck.checker` are pure walks
+that *emit* into it — Horn constraints for every subtyping obligation,
+qualifier spaces for every fresh predicate unknown (the liquid abstraction
+of Sec. 3.6, instantiated from the environment where the unknown is
+born).  One session owns one incremental SMT backend
+(:class:`repro.smt.solver.IncrementalSolver`) that serves the *entire*
+typing derivation: every Horn solver it spawns issues its validity checks
+through the same backend, so premises shared between obligations are
+encoded once and theory lemmas learned early prune every later query.
+
+:meth:`TypecheckSession.solve` hands the accumulated system to
+:class:`repro.horn.HornSolver` and packages the outcome: on success the
+:class:`TypecheckResult` carries the inferred valuation of every unknown;
+on failure it names the subtyping obligation whose constraint was refuted
+(:meth:`TypecheckResult.error_message`), and
+:meth:`TypecheckSession.solve_or_raise` turns that into a
+:class:`SubtypingError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..horn.constraints import HornConstraint
+from ..horn.solver import Assignment, HornSolver
+from ..horn.spaces import QualifierSpace, build_space
+from ..logic import ops
+from ..logic.formulas import Formula, Unknown
+from ..logic.qualifiers import Qualifier, default_qualifiers
+from ..logic.simplify import conjuncts
+from ..logic.sortcheck import MeasureSignatures
+from ..logic.sorts import Sort
+from ..smt.interface import SolverBackend
+from ..smt.names import FreshNames
+from ..smt.solver import IncrementalSolver
+from ..syntax.terms import Term
+from ..syntax.types import BaseType, RType, ScalarType, TypeSchema, base_sort
+from . import checker
+from .environment import EMPTY, Environment
+from .errors import SubtypingError, WellFormednessError
+
+
+@dataclass
+class TypecheckResult:
+    """Outcome of solving a session's constraint system.
+
+    ``assignment`` maps every predicate unknown to its strongest inferred
+    valuation; ``weakest`` is the minimized valuation when requested.  When
+    ``solved`` is false, ``failed`` is the refuted constraint and
+    ``error_message`` names the subtyping obligation it came from.
+    """
+
+    solved: bool
+    assignment: Assignment = field(default_factory=dict)
+    weakest: Optional[Assignment] = None
+    failed: Optional[HornConstraint] = None
+
+    def refinement_of(self, unknown: str) -> Formula:
+        """The inferred refinement of ``unknown`` as one conjunction."""
+        return ops.conj(self.assignment.get(unknown, ()))
+
+    @property
+    def error_message(self) -> Optional[str]:
+        """A human-readable account of the failure, if any."""
+        if self.solved or self.failed is None:
+            return None
+        return (
+            f"subtyping obligation failed at {self.failed.origin()}: "
+            "no refinement in the qualifier space satisfies "
+            f"`{self.failed!r}`"
+        )
+
+
+class TypecheckSession:
+    """Accumulates constraints from a typing derivation and solves them."""
+
+    def __init__(
+        self,
+        qualifiers: Optional[Sequence[Qualifier]] = None,
+        literals: Iterable[Formula] = (),
+        backend: Optional[SolverBackend] = None,
+        measures: Optional[MeasureSignatures] = None,
+    ) -> None:
+        self.qualifiers: List[Qualifier] = list(
+            qualifiers if qualifiers is not None else default_qualifiers()
+        )
+        #: Extra candidate formulas (e.g. the literal 0) joining every
+        #: qualifier space's placeholder pool.
+        self.literals: Tuple[Formula, ...] = tuple(literals)
+        self.backend: SolverBackend = (backend if backend is not None else IncrementalSolver())
+        self.measures: Dict[str, Tuple[Tuple[Sort, ...], Sort]] = dict(measures or {})
+        self.constraints: List[HornConstraint] = []
+        self.spaces: Dict[str, QualifierSpace] = {}
+        self.last_solver: Optional[HornSolver] = None
+        self._names = FreshNames(prefix="_")
+
+    # -- fresh unknowns (liquid abstraction) ---------------------------------
+
+    def fresh_name(self, kind: str = "x") -> str:
+        """A fresh program-level name (for contextual bindings)."""
+        return self._names.fresh(kind)
+
+    def fresh_unknown(
+        self, env: Environment, value_sort: Optional[Sort], kind: str = "T"
+    ) -> Unknown:
+        """A fresh predicate unknown whose qualifier space is instantiated
+        from the variables in scope in ``env`` (plus session literals)."""
+        name = self._names.fresh(kind)
+        candidates = env.scope_candidates() + list(self.literals)
+        self.spaces[name] = build_space(name, self.qualifiers, candidates, value_sort)
+        return Unknown(name)
+
+    def fresh_scalar(self, env: Environment, base: BaseType) -> ScalarType:
+        """A scalar type refined by a fresh unknown — the checker's stand-in
+        for a refinement to be inferred."""
+        return ScalarType(base, self.fresh_unknown(env, base_sort(base)))
+
+    def instantiate(
+        self,
+        schema: TypeSchema,
+        env: Environment,
+        type_args: Optional[Mapping[str, RType]] = None,
+    ) -> RType:
+        """Strip a schema's quantifiers: type variables become the provided
+        types (or stay free), predicate variables become fresh unknowns with
+        spaces built from ``env``."""
+        from ..syntax.types import instantiate_schema
+
+        pred_mapping: Dict[str, str] = {}
+        for sig in schema.pred_vars:
+            value_sort = sig.arg_sorts[-1] if sig.arg_sorts else None
+            pred_mapping[sig.name] = self.fresh_unknown(env, value_sort, kind="P").name
+        return instantiate_schema(schema, type_args, pred_mapping)
+
+    # -- constraint accumulation ---------------------------------------------
+
+    def emit(
+        self,
+        premises: Sequence[Formula],
+        conclusion: Formula,
+        provenance: Tuple[str, ...] = (),
+    ) -> None:
+        """Record ``premises ==> conclusion``, splitting the conclusion into
+        conjuncts so each constraint is Horn-shaped (a lone unknown or an
+        unknown-free formula on the right)."""
+        for conjunct in conjuncts(conclusion):
+            try:
+                self.constraints.append(
+                    HornConstraint(tuple(premises), conjunct, provenance=provenance)
+                )
+            except ValueError as error:
+                raise WellFormednessError(
+                    f"refinement at {' / '.join(provenance) or '<top level>'} mixes "
+                    f"a predicate unknown into a compound conclusion: {error}"
+                ) from error
+
+    # -- checker entry points ------------------------------------------------
+
+    def well_formed(self, env: Environment, rtype: RType) -> None:
+        """Demand ``rtype`` is well-formed in ``env`` (see checker)."""
+        checker.well_formed(self, env, rtype)
+
+    def infer(self, env: Environment, term: Term, where: str = "") -> RType:
+        """Infer the type of an elimination term."""
+        return checker.infer(self, env, term, (where,) if where else ())
+
+    def check(self, env: Environment, term: Term, goal: RType, where: str = "") -> None:
+        """Check ``term`` against ``goal``, accumulating constraints."""
+        checker.check(self, env, term, goal, (where,) if where else ())
+
+    def subtype(self, env: Environment, sub: RType, sup: RType, where: str = "") -> None:
+        """Record the subtyping obligation ``env ⊢ sub <: sup``."""
+        checker.subtype(self, env, sub, sup, (where,) if where else ())
+
+    def check_program(
+        self,
+        term: Term,
+        goal: RType,
+        env: Environment = EMPTY,
+        where: str = "",
+    ) -> None:
+        """Well-formedness then checking — the common top-level sequence."""
+        self.well_formed(env, goal)
+        self.check(env, term, goal, where)
+
+    # -- solving -------------------------------------------------------------
+
+    def solve(self, minimize: bool = False) -> TypecheckResult:
+        """Solve the accumulated system with a Horn solver running on this
+        session's shared incremental backend."""
+        solver = HornSolver(self.backend)
+        self.last_solver = solver
+        solution = solver.solve(self.constraints, self.spaces, minimize=minimize)
+        return TypecheckResult(
+            solved=solution.solved,
+            assignment=solution.assignment,
+            weakest=solution.weakest,
+            failed=solution.failed,
+        )
+
+    def solve_or_raise(self, minimize: bool = False) -> TypecheckResult:
+        """Like :meth:`solve`, raising :class:`SubtypingError` on failure."""
+        result = self.solve(minimize=minimize)
+        if not result.solved:
+            assert result.error_message is not None
+            raise SubtypingError(result.error_message, result.failed)
+        return result

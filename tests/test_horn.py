@@ -2,18 +2,17 @@
 
 import pytest
 
-from repro.logic import ops
-from repro.logic.formulas import IntLit, Unknown, value_var
-from repro.logic.qualifiers import default_qualifiers
-from repro.logic.sorts import INT
 from repro.horn import (
-    HornConstraint,
     HornSolver,
     QualifierSpace,
     build_space,
     build_spaces,
     constraint,
 )
+from repro.logic import ops
+from repro.logic.formulas import IntLit, Unknown, value_var
+from repro.logic.qualifiers import default_qualifiers
+from repro.logic.sorts import INT
 
 x = ops.var("x", INT)
 y = ops.var("y", INT)
@@ -32,9 +31,7 @@ def max_system():
     constraints = [
         constraint([ops.ge(x, y)], Unknown("P", (("_v", x),)), "then-branch"),
         constraint([ops.not_(ops.ge(x, y))], Unknown("P", (("_v", y),)), "else-branch"),
-        constraint(
-            [Unknown("P")], ops.and_(ops.ge(nu, x), ops.ge(nu, y)), "spec"
-        ),
+        constraint([Unknown("P")], ops.and_(ops.ge(nu, x), ops.ge(nu, y)), "spec"),
     ]
     return constraints, [space]
 
@@ -92,22 +89,16 @@ class TestMaxExample:
         strongest = solution.formula_for("P")
         # the strongest valuation entails the spec
         backend = HornSolver().backend
-        assert backend.is_valid_implication(
-            [strongest], ops.and_(ops.ge(nu, x), ops.ge(nu, y))
-        )
+        assert backend.is_valid_implication([strongest], ops.and_(ops.ge(nu, x), ops.ge(nu, y)))
 
 
 class TestAbsExample:
     def test_abs_postcondition(self):
         """abs-style system: P must capture nu >= 0 using a literal candidate."""
-        space = build_space(
-            "P", default_qualifiers(), [x, IntLit(0)], value_sort=INT
-        )
+        space = build_space("P", default_qualifiers(), [x, IntLit(0)], value_sort=INT)
         constraints = [
             constraint([ops.ge(x, IntLit(0))], Unknown("P", (("_v", x),))),
-            constraint(
-                [ops.lt(x, IntLit(0))], Unknown("P", (("_v", ops.neg(x)),))
-            ),
+            constraint([ops.lt(x, IntLit(0))], Unknown("P", (("_v", ops.neg(x)),))),
             constraint([Unknown("P")], ops.ge(nu, IntLit(0)), "spec"),
         ]
         solution = HornSolver().solve(constraints, [space])
@@ -142,9 +133,7 @@ class TestUnsolvableSystem:
 class TestChainedUnknowns:
     def test_weakening_propagates_through_premises(self):
         """P feeds Q: pruning P must re-trigger weakening of Q."""
-        spaces = build_spaces(
-            {"P": [x], "Q": [x]}, default_qualifiers(), value_sort=INT
-        )
+        spaces = build_spaces({"P": [x], "Q": [x]}, default_qualifiers(), value_sort=INT)
         constraints = [
             # P can only keep qualifiers implied by x == nu
             constraint([ops.eq(x, nu)], Unknown("P")),
@@ -160,9 +149,7 @@ class TestChainedUnknowns:
             assert backend.is_valid_implication([p_formula], q)
 
     def test_multiple_rounds_run(self):
-        spaces = build_spaces(
-            {"P": [x], "Q": [x]}, default_qualifiers(), value_sort=INT
-        )
+        spaces = build_spaces({"P": [x], "Q": [x]}, default_qualifiers(), value_sort=INT)
         constraints = [
             constraint([ops.eq(x, nu)], Unknown("P")),
             constraint([Unknown("P")], Unknown("Q")),
@@ -201,21 +188,15 @@ class TestSetConstraints:
 
 class TestSpaces:
     def test_missing_space_means_trivial_valuation(self):
-        solution = HornSolver().solve(
-            [constraint([ops.le(x, y)], Unknown("P"))], []
-        )
+        solution = HornSolver().solve([constraint([ops.le(x, y)], Unknown("P"))], [])
         assert solution.solved
         assert solution.assignment["P"] == ()
         assert solution.formula_for("P") == ops.bool_lit(True)
 
     def test_space_map_accepts_iterables_and_mappings(self):
         space = QualifierSpace("P", (ops.le(x, nu),))
-        by_list = HornSolver().solve(
-            [constraint([ops.le(x, nu)], Unknown("P"))], [space]
-        )
-        by_map = HornSolver().solve(
-            [constraint([ops.le(x, nu)], Unknown("P"))], {"P": space}
-        )
+        by_list = HornSolver().solve([constraint([ops.le(x, nu)], Unknown("P"))], [space])
+        by_map = HornSolver().solve([constraint([ops.le(x, nu)], Unknown("P"))], {"P": space})
         assert by_list.assignment == by_map.assignment
 
     def test_build_space_sizes(self):

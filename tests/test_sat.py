@@ -57,9 +57,7 @@ class TestSatSolver:
             if not result.satisfiable:
                 break
             seen += 1
-            solver.add_clause(
-                [-v if value else v for v, value in result.model.items()]
-            )
+            solver.add_clause([-v if value else v for v, value in result.model.items()])
         assert seen == 3  # models of (1 or 2) over two variables
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.logic import ops
-from repro.logic.formulas import IntLit, value_var
+from repro.logic.formulas import IntLit
 from repro.logic.sorts import BOOL, INT, set_of
 from repro.smt import (
     IncrementalSolver,
@@ -164,9 +164,7 @@ class TestIncrementalSolver:
 
     def test_is_valid_implication(self):
         solver = IncrementalSolver()
-        assert solver.is_valid_implication(
-            [ops.le(x, y), ops.le(y, z)], ops.le(x, z)
-        )
+        assert solver.is_valid_implication([ops.le(x, y), ops.le(y, z)], ops.le(x, z))
         assert not solver.is_valid_implication([ops.le(x, y)], ops.le(y, x))
 
     def test_learned_lemmas_survive_pop(self):
@@ -196,9 +194,7 @@ class TestIncrementalSolver:
         empty = ops.empty_set(INT)
         # x in s together with s <= [] is unsatisfiable only if both
         # assertions share one element universe.
-        assert not solver.check_assuming(
-            [ops.member(x, s), ops.subset(s, empty)]
-        )
+        assert not solver.check_assuming([ops.member(x, s), ops.subset(s, empty)])
         assert solver.check_assuming([ops.member(x, s)])
 
     def test_set_reasoning_across_premises(self):
@@ -207,12 +203,8 @@ class TestIncrementalSolver:
         solver = IncrementalSolver()
         s = ops.var("s", set_of(INT))
         t = ops.var("t", set_of(INT))
-        assert solver.is_valid_implication(
-            [ops.member(x, s), ops.subset(s, t)], ops.member(x, t)
-        )
-        assert not solver.is_valid_implication(
-            [ops.member(x, s)], ops.member(x, t)
-        )
+        assert solver.is_valid_implication([ops.member(x, s), ops.subset(s, t)], ops.member(x, t))
+        assert not solver.is_valid_implication([ops.member(x, s)], ops.member(x, t))
 
     def test_check_cost_tracks_active_scope_not_history(self):
         # After many unrelated assertions in popped scopes, a small check
