@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Perf smoke benchmark: the datatype workloads through the type checker.
+
+Times the full pipeline — parse, match elaboration, fix termination
+strengthening, Horn solving over the session's incremental backend — on
+the paper's list benchmarks (``length``, ``append``, ``replicate``,
+``stutter``) plus one rejection workload that exercises the failure path::
+
+    PYTHONPATH=src python scripts/bench_typecheck.py --output BENCH_typecheck.json
+
+As with ``bench_horn.py``, deterministic solver counters are recorded
+next to the wall-clock numbers so a perf regression can be triaged on any
+machine; CI compares the timings against the committed baseline with
+``scripts/check_bench_regression.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.syntax import len_measure, list_datatype, parse_term, parse_type  # noqa: E402
+from repro.typecheck import EMPTY, TypecheckSession  # noqa: E402
+
+COMPONENTS = {
+    "inc": "a:Int -> {Int | nu == a + 1}",
+    "dec": "a:Int -> {Int | nu == a - 1}",
+    "leq": "a:Int -> b:Int -> {Bool | nu <==> a <= b}",
+}
+
+WORKLOADS = {
+    "typecheck.length": (
+        "fix length . \\xs . match xs with Nil -> 0 | Cons y ys -> inc (length ys)",
+        "xs:List a -> {Int | nu == len(xs)}",
+        True,
+    ),
+    "typecheck.append": (
+        "fix append . \\xs . \\ys . "
+        "match xs with Nil -> ys | Cons z zs -> Cons z (append zs ys)",
+        "xs:List a -> ys:List a -> {List a | len(nu) == len(xs) + len(ys)}",
+        True,
+    ),
+    "typecheck.replicate": (
+        "fix replicate . \\n . \\x . if leq n 0 then Nil else Cons x (replicate (dec n) x)",
+        "n:{Int | nu >= 0} -> x:a -> {List a | len(nu) == n}",
+        True,
+    ),
+    "typecheck.stutter": (
+        "fix stutter . \\xs . "
+        "match xs with Nil -> Nil | Cons y ys -> Cons y (Cons y (stutter ys))",
+        "xs:List a -> {List a | len(nu) == len(xs) + len(xs)}",
+        True,
+    ),
+    "typecheck.stutter-reject": (
+        "fix stutter . \\xs . match xs with Nil -> Nil | Cons y ys -> Cons y (stutter ys)",
+        "xs:List a -> {List a | len(nu) == len(xs) + len(xs)}",
+        False,
+    ),
+}
+
+
+def run_workload(term_src: str, sig_src: str, expect_solved: bool):
+    start = time.perf_counter()
+    session = TypecheckSession(datatypes=[list_datatype()], measure_defs=[len_measure()])
+    env = session.bind_constructors(EMPTY)
+    for name, sig in COMPONENTS.items():
+        env = env.bind(name, parse_type(sig))
+    goal = parse_type(sig_src, measures=session.measures)
+    session.check_program(parse_term(term_src), goal, env, where="bench")
+    outcome = session.solve()
+    elapsed = time.perf_counter() - start
+    assert outcome.solved == expect_solved, "benchmark workload changed verdict"
+    return elapsed, {
+        "constraints": len(session.constraints),
+        "validity_checks": session.last_solver.statistics.validity_checks,
+        "sat_queries": session.backend.statistics.sat_queries,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_typecheck.json", help="report path")
+    parser.add_argument("--repeat", type=int, default=5, help="runs per benchmark")
+    args = parser.parse_args()
+
+    report = {
+        "suite": "typecheck-perf-smoke",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repeat": args.repeat,
+        "benchmarks": [],
+    }
+    for name, (term_src, sig_src, expect_solved) in WORKLOADS.items():
+        timings = []
+        counters = {}
+        for _ in range(args.repeat):
+            elapsed, counters = run_workload(term_src, sig_src, expect_solved)
+            timings.append(elapsed)
+        entry = {
+            "name": name,
+            "mean_s": statistics.mean(timings),
+            "min_s": min(timings),
+            "max_s": max(timings),
+            "counters": counters,
+        }
+        report["benchmarks"].append(entry)
+        print(
+            f"{name:26s} mean={entry['mean_s'] * 1000:7.2f}ms "
+            f"min={entry['min_s'] * 1000:7.2f}ms "
+            f"counters={counters}"
+        )
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

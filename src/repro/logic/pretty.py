@@ -67,8 +67,10 @@ def pretty_formula(formula: Formula) -> str:
             f"else {pretty_formula(formula.else_)})"
         )
     if isinstance(formula, App):
-        args = " ".join(pretty_formula(arg) for arg in formula.args)
-        return f"({formula.func} {args})"
+        # Measure-application syntax, mirroring the surface parser so
+        # pretty-printed refinements parse back.
+        args = ", ".join(pretty_formula(arg) for arg in formula.args)
+        return f"{formula.func}({args})"
     if isinstance(formula, SetLit):
         elements = ", ".join(pretty_formula(el) for el in formula.elements)
         return f"[{elements}]"

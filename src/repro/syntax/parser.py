@@ -1,10 +1,22 @@
-"""A small surface parser for refinement formulas and types.
+"""A small surface parser for refinement formulas, types, terms, and
+declarations.
 
 Tests and the future CLI write signatures the way the paper does::
 
     x:Int -> y:Int -> {Int | nu >= x && nu >= y}
     {Int | nu != 0} -> Bool
     xs:List Int -> {Int | nu >= len(xs)}
+
+and programs and declarations in a Haskell-ish surface syntax::
+
+    fix length . \\xs . match xs with Nil -> 0 | Cons y ys -> inc (length ys)
+
+    data List a where
+        Nil :: {List a | len(nu) == 0}
+      | Cons :: x:a -> xs:List a -> {List a | len(nu) == 1 + len(xs)}
+
+    measure len :: List a -> {Int | nu >= 0} where
+        Nil -> 0 | Cons x xs -> 1 + len(xs)
 
 The parser is scope-aware: variable occurrences inside refinements must be
 either arrow binders to their left or names in the caller-provided
@@ -14,21 +26,45 @@ through :func:`repro.logic.sortcheck.check_sort` to reject ill-sorted
 operator applications).  Measures (``len(xs)``) resolve through a
 ``measures`` signature map.
 
+Declarations are mutually referential — constructor refinements mention
+measures, measure cases mention constructor binders — so
+:func:`parse_declarations` resolves a block in three passes: measure
+*headers* first (their signatures), then datatypes (with every measure
+signature in scope), then measure *cases* (with constructor shapes giving
+the binder sorts).
+
 Only monotypes are parsed; schemas (type/predicate quantifiers) are built
-through :mod:`repro.syntax.types` directly — the quantifier prefix is
-trivial to assemble in code and keeping it out of the grammar keeps the
-parser small.
+through :mod:`repro.syntax.types` directly, except for constructor
+signatures, which are implicitly quantified over their datatype's
+parameters.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Mapping, NamedTuple, Optional
+from typing import Dict, List, Mapping, NamedTuple, Optional, Tuple
 
 from ..logic import ops
-from ..logic.formulas import Formula, value_var
+from ..logic.formulas import Formula, Var, value_var
+from ..logic.measures import MeasureCase, MeasureDef
+from ..logic.qualifiers import sorts_compatible
 from ..logic.sortcheck import MeasureSignatures, check_sort
-from ..logic.sorts import BOOL, Sort
+from ..logic.sorts import BOOL, Sort, VarSort
+from .datatypes import Constructor, Datatype
+from .terms import (
+    Annot,
+    AppTerm,
+    BoolConst,
+    FixTerm,
+    IfTerm,
+    IntConst,
+    LambdaTerm,
+    LetTerm,
+    MatchCase,
+    MatchTerm,
+    Term,
+    VarTerm,
+)
 from .types import (
     BOOL_BASE,
     INT_BASE,
@@ -37,6 +73,7 @@ from .types import (
     FunctionType,
     RType,
     ScalarType,
+    TypeSchema,
     TypeVarBase,
     base_sort,
 )
@@ -61,9 +98,15 @@ _TOKEN_RE = re.compile(
     (?P<space>\s+)
   | (?P<int>\d+)
   | (?P<ident>[A-Za-z_][A-Za-z0-9_']*)
-  | (?P<symbol><==>|==>|->|&&|\|\||==|!=|<=|>=|<|>|[{}()\[\]|:,.+\-*!\\])
+  | (?P<symbol><==>|==>|->|&&|\|\||==|!=|<=|>=|::|<|>|[{}()\[\]|:,.+\-*!\\=])
     """,
     re.VERBOSE,
+)
+
+#: Reserved words of the term/declaration grammar; they never parse as
+#: variables, binders, or constructor names.
+_KEYWORDS = frozenset(
+    {"if", "then", "else", "let", "in", "match", "with", "fix", "data", "measure", "where"}
 )
 
 _COMPARISONS = {
@@ -137,6 +180,33 @@ class _Parser:
 
     def fail(self, message: str) -> ParseError:
         return ParseError(message, self.text, self.peek().position)
+
+    def accept_keyword(self, word: str) -> bool:
+        token = self.peek()
+        if token.kind == "ident" and token.value == word:
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise self.fail(f"expected keyword {word!r}")
+
+    def ident(self, what: str = "an identifier") -> str:
+        token = self.peek()
+        if token.kind != "ident" or token.value in _KEYWORDS:
+            raise self.fail(f"expected {what}")
+        return self.advance().value
+
+    def upper_ident(self, what: str) -> str:
+        name = self.ident(what)
+        if not name[0].isupper():
+            raise ParseError(
+                f"{what} must be capitalized, got `{name}`",
+                self.text,
+                self.tokens[self.index - 1].position,
+            )
+        return name
 
     # -- types ---------------------------------------------------------------
 
@@ -226,6 +296,229 @@ class _Parser:
         sort = check_sort(scalar.refinement, scope, self.measures)
         if sort != BOOL:
             raise self.fail(f"refinement must have sort Bool, got {sort}")
+
+    # -- terms ---------------------------------------------------------------
+
+    def term(self) -> Term:
+        """``term ::= '\\' x '.' term | if/let/match/fix | application``"""
+        token = self.peek()
+        if token.kind == "symbol" and token.value == "\\":
+            self.advance()
+            binder = self.ident("a lambda binder")
+            self.expect(".")
+            return LambdaTerm(binder, self.term())
+        if token.kind == "ident":
+            if self.accept_keyword("if"):
+                cond = self.term()
+                self.expect_keyword("then")
+                then_ = self.term()
+                self.expect_keyword("else")
+                return IfTerm(cond, then_, self.term())
+            if self.accept_keyword("let"):
+                name = self.ident("a let binder")
+                self.expect("=")
+                value = self.term()
+                self.expect_keyword("in")
+                return LetTerm(name, value, self.term())
+            if self.accept_keyword("match"):
+                scrutinee = self.term()
+                self.expect_keyword("with")
+                self.accept("|")
+                cases = [self.match_case()]
+                while self.accept("|"):
+                    cases.append(self.match_case())
+                return MatchTerm(scrutinee, tuple(cases))
+            if self.accept_keyword("fix"):
+                name = self.ident("a fix binder")
+                self.expect(".")
+                return FixTerm(name, self.term())
+        return self.app_term()
+
+    def match_case(self) -> MatchCase:
+        """``case ::= Ctor binder* '->' term`` (the body extends greedily, so
+        an inner match must be parenthesized to close before the next alt)."""
+        constructor = self.upper_ident("a constructor name")
+        binders: List[str] = []
+        while self.peek().kind == "ident" and self.peek().value not in _KEYWORDS:
+            binders.append(self.advance().value)
+        self.expect("->")
+        return MatchCase(constructor, tuple(binders), self.term())
+
+    def app_term(self) -> Term:
+        result = self.atom_term()
+        while self._at_term_atom():
+            result = AppTerm(result, self.atom_term())
+        return result
+
+    def _at_term_atom(self) -> bool:
+        token = self.peek()
+        if token.kind == "int":
+            return True
+        if token.kind == "ident":
+            return token.value not in _KEYWORDS
+        return token.kind == "symbol" and token.value == "("
+
+    def atom_term(self) -> Term:
+        token = self.peek()
+        if token.kind == "int":
+            return IntConst(int(self.advance().value))
+        if token.kind == "ident":
+            if token.value in _KEYWORDS:
+                raise self.fail(f"unexpected keyword `{token.value}` in a term")
+            name = self.advance().value
+            if name == "True":
+                return BoolConst(True)
+            if name == "False":
+                return BoolConst(False)
+            return VarTerm(name)
+        if self.accept("("):
+            inner = self.term()
+            if self.accept("::"):
+                inner = Annot(inner, self.type_())
+            self.expect(")")
+            return inner
+        raise self.fail("expected a term")
+
+    # -- declarations --------------------------------------------------------
+
+    def datatype_decl(self) -> Datatype:
+        """``data D a1 ... ak where C1 :: T1 | C2 :: T2 | ...``"""
+        self.expect_keyword("data")
+        name = self.upper_ident("a datatype name")
+        params: List[str] = []
+        while self.peek().kind == "ident" and self.peek().value not in _KEYWORDS:
+            param = self.advance().value
+            if param[0].isupper():
+                raise self.fail(f"type parameter `{param}` must be lowercase")
+            params.append(param)
+        self.expect_keyword("where")
+        self.accept("|")
+        constructors = [self._constructor_decl(name, tuple(params))]
+        while self.accept("|"):
+            constructors.append(self._constructor_decl(name, tuple(params)))
+        seen = set()
+        for ctor in constructors:
+            if ctor.name in seen:
+                raise self.fail(f"duplicate constructor `{ctor.name}`")
+            seen.add(ctor.name)
+        return Datatype(name, tuple(params), tuple(constructors))
+
+    def _constructor_decl(self, datatype: str, params: Tuple[str, ...]) -> Constructor:
+        name = self.upper_ident("a constructor name")
+        self.expect("::")
+        body = self.type_()
+        result: RType = body
+        while isinstance(result, FunctionType):
+            result = result.result_type
+        produces_datatype = (
+            isinstance(result, ScalarType)
+            and isinstance(result.base, DataBase)
+            and result.base.name == datatype
+        )
+        if not produces_datatype:
+            raise self.fail(f"constructor `{name}` must produce `{datatype}`, got `{result!r}`")
+        return Constructor(name, TypeSchema(params, (), body))
+
+    def measure_header(self) -> "Tuple[str, MeasureDef]":
+        """Parse ``measure m :: D ps -> {S | post}`` up to (excluding)
+        ``where``, returning the name and a case-less :class:`MeasureDef`."""
+        self.expect_keyword("measure")
+        name = self.ident("a measure name")
+        self.expect("::")
+        checkpoint = self.index
+        mtype = self.type_()
+        if not isinstance(mtype, FunctionType):
+            self.index = checkpoint
+            raise self.fail(f"measure `{name}` must have an arrow signature")
+        arg, result = mtype.arg_type, mtype.result_type
+        if not (isinstance(arg, ScalarType) and isinstance(arg.base, DataBase)):
+            self.index = checkpoint
+            raise self.fail(f"measure `{name}` must consume a datatype")
+        if not isinstance(result, ScalarType):
+            self.index = checkpoint
+            raise self.fail(f"measure `{name}` must produce a scalar")
+        return name, MeasureDef(
+            name=name,
+            datatype=arg.base.name,
+            arg_sort=base_sort(arg.base),
+            result_sort=base_sort(result.base),
+            postcondition=result.refinement,
+        )
+
+    def measure_decl(self, datatypes: Mapping[str, Datatype]) -> MeasureDef:
+        """A full measure declaration, cases included.  The measure's own
+        signature joins ``self.measures`` so case bodies may recurse."""
+        name, header = self.measure_header()
+        self.measures = dict(self.measures)
+        self.measures[name] = header.signature()
+        datatype = datatypes.get(header.datatype)
+        if datatype is None:
+            raise self.fail(f"measure `{name}` consumes undeclared datatype `{header.datatype}`")
+        self.expect_keyword("where")
+        self.accept("|")
+        cases = [self._measure_case(header, datatype)]
+        while self.accept("|"):
+            cases.append(self._measure_case(header, datatype))
+        seen = set()
+        for case in cases:
+            if case.constructor in seen:
+                raise self.fail(f"duplicate measure case for `{case.constructor}`")
+            seen.add(case.constructor)
+        return MeasureDef(
+            name=header.name,
+            datatype=header.datatype,
+            arg_sort=header.arg_sort,
+            result_sort=header.result_sort,
+            cases=tuple(cases),
+            postcondition=header.postcondition,
+        )
+
+    def _measure_case(self, header: MeasureDef, datatype: Datatype) -> MeasureCase:
+        cname = self.upper_ident("a constructor name")
+        ctor = datatype.find(cname)
+        if ctor is None:
+            raise self.fail(
+                f"`{cname}` is not a constructor of `{datatype.name}` "
+                f"(has: {', '.join(datatype.constructor_names())})"
+            )
+        binders: List[str] = []
+        while self.peek().kind == "ident" and self.peek().value not in _KEYWORDS:
+            binders.append(self.advance().value)
+        if len(binders) != ctor.arity():
+            raise self.fail(
+                f"constructor `{cname}` takes {ctor.arity()} arguments, "
+                f"the case binds {len(binders)}"
+            )
+        if len(set(binders)) != len(binders):
+            raise self.fail(f"measure case `{cname}` binds a name twice")
+        self.expect("->")
+        binder_vars: List[Var] = []
+        scope = dict(self.scope)
+        node: RType = ctor.schema.body
+        for binder in binders:
+            assert isinstance(node, FunctionType)
+            if isinstance(node.arg_type, ScalarType):
+                sort = node.arg_type.sort
+                scope[binder] = sort
+            else:
+                # Function-typed constructor arguments have no logical sort;
+                # a case body mentioning one is rejected as unbound.
+                sort = VarSort(f"_{binder}")
+            binder_vars.append(Var(binder, sort))
+            node = node.result_type
+        outer_scope = self.scope
+        self.scope = scope
+        try:
+            body = self.formula()
+        finally:
+            self.scope = outer_scope
+        sort = check_sort(body, scope, self.measures)
+        if not sorts_compatible(sort, header.result_sort):
+            raise self.fail(
+                f"measure case `{cname}` has sort {sort}, "
+                f"expected {header.result_sort}"
+            )
+        return MeasureCase(cname, tuple(binder_vars), body)
 
     # -- formulas (precedence climbing) --------------------------------------
 
@@ -392,6 +685,102 @@ def parse_formula(
         check_scope[value_var(value_sort).name] = value_sort
     check_sort(result, check_scope, measures)
     return result
+
+
+def parse_term(
+    text: str,
+    scope: Optional[Mapping[str, Sort]] = None,
+    measures: Optional[MeasureSignatures] = None,
+) -> Term:
+    """Parse a program term.  ``scope`` and ``measures`` are only consulted
+    for the types of ``(term :: type)`` ascriptions; the term language
+    itself is untyped at parse time."""
+    parser = _Parser(text, scope or {}, measures)
+    result = parser.term()
+    _expect_eof(parser)
+    return result
+
+
+def parse_datatype(
+    text: str,
+    measures: Optional[MeasureSignatures] = None,
+) -> Datatype:
+    """Parse one ``data D ... where ...`` declaration.  ``measures`` supplies
+    the signatures the constructor refinements may apply."""
+    parser = _Parser(text, {}, measures)
+    result = parser.datatype_decl()
+    _expect_eof(parser)
+    return result
+
+
+def parse_measure(
+    text: str,
+    datatypes: Mapping[str, Datatype],
+    measures: Optional[MeasureSignatures] = None,
+) -> MeasureDef:
+    """Parse one ``measure m :: ... where ...`` declaration.  ``datatypes``
+    provides the constructor shapes that give case binders their sorts; the
+    measure's own signature is available to its cases (recursion)."""
+    parser = _Parser(text, {}, measures)
+    result = parser.measure_decl(datatypes)
+    _expect_eof(parser)
+    return result
+
+
+class Declarations(NamedTuple):
+    """A resolved block of surface declarations."""
+
+    datatypes: Dict[str, Datatype]
+    measures: Dict[str, MeasureDef]
+
+
+def parse_declarations(text: str) -> Declarations:
+    """Parse a block of ``data`` / ``measure`` declarations, in any order.
+
+    Mutual references are resolved in three passes: measure signatures are
+    collected first, datatypes are parsed with them in scope, and measure
+    cases are parsed last against the constructor shapes.
+    """
+    tokens = _tokenize(text)
+    starts = [
+        index
+        for index, token in enumerate(tokens)
+        if token.kind == "ident" and token.value in ("data", "measure")
+    ]
+    if not starts or starts[0] != 0:
+        position = tokens[0].position if tokens[0].kind != "eof" else 0
+        raise ParseError("expected a `data` or `measure` declaration", text, position)
+    chunks: List[Tuple[str, str]] = []
+    for which, index in enumerate(starts):
+        end = tokens[starts[which + 1]].position if which + 1 < len(starts) else len(text)
+        chunks.append((tokens[index].value, text[tokens[index].position : end]))
+
+    signatures: Dict[str, Tuple[Tuple[Sort, ...], Sort]] = {}
+    for kind, chunk in chunks:
+        if kind == "measure":
+            name, header = _Parser(chunk, {}, None).measure_header()
+            if name in signatures:
+                raise ParseError(f"duplicate measure `{name}`", text, 0)
+            signatures[name] = header.signature()
+
+    datatypes: Dict[str, Datatype] = {}
+    for kind, chunk in chunks:
+        if kind == "data":
+            parser = _Parser(chunk, {}, signatures)
+            datatype = parser.datatype_decl()
+            _expect_eof(parser)
+            if datatype.name in datatypes:
+                raise ParseError(f"duplicate datatype `{datatype.name}`", text, 0)
+            datatypes[datatype.name] = datatype
+
+    measures: Dict[str, MeasureDef] = {}
+    for kind, chunk in chunks:
+        if kind == "measure":
+            parser = _Parser(chunk, {}, signatures)
+            measure = parser.measure_decl(datatypes)
+            _expect_eof(parser)
+            measures[measure.name] = measure
+    return Declarations(datatypes, measures)
 
 
 def _expect_eof(parser: _Parser) -> None:

@@ -11,10 +11,11 @@ drives the bidirectional checker's mode choice.
     E ::= x | c | E E
     I ::= E | \\x . I | if E then I else I | match E with alts | fix f . I
 
-``Match`` and ``Fix`` are represented but their typing rules are
-deliberately unimplemented in this layer (see ROADMAP: match elaboration
-and termination metrics arrive with the enumerator); the checker reports
-them as unsupported rather than mis-typing them.
+``Match`` scrutinizes a datatype value: each :class:`MatchCase` names a
+constructor and binds its arguments.  ``Fix`` introduces recursion; the
+checker types the recursive occurrence at a signature strengthened with a
+lexicographic termination metric (see
+:mod:`repro.typecheck.checker`).
 """
 
 from __future__ import annotations
@@ -102,7 +103,7 @@ class MatchCase(Term):
 
 @dataclass(frozen=True, repr=False)
 class MatchTerm(Term):
-    """``match scrutinee with cases`` — elaboration is a later PR."""
+    """``match scrutinee with cases`` over a datatype value."""
 
     scrutinee: Term
     cases: Tuple[MatchCase, ...]
@@ -110,7 +111,7 @@ class MatchTerm(Term):
 
 @dataclass(frozen=True, repr=False)
 class FixTerm(Term):
-    """``fix name . body`` — recursion, awaiting termination metrics."""
+    """``fix name . body`` — recursion, checked with termination metrics."""
 
     name: str
     body: Term
@@ -176,13 +177,54 @@ def annot(term: Term, rtype: RType) -> Annot:
     return Annot(term, rtype)
 
 
+def alt(constructor: str, *binders: str, body: Optional[Term] = None) -> MatchCase:
+    """One match alternative ``constructor binders -> body``."""
+    if body is None:
+        raise ValueError("alt needs a body")
+    return MatchCase(constructor, tuple(binders), body)
+
+
+def match_(scrutinee: Term, *cases: MatchCase) -> MatchTerm:
+    """A match over a datatype scrutinee."""
+    if not cases:
+        raise ValueError("match needs at least one case")
+    return MatchTerm(scrutinee, tuple(cases))
+
+
+def fix_(name: str, body: Term) -> FixTerm:
+    """A recursive definition ``fix name . body``."""
+    return FixTerm(name, body)
+
+
 # ---------------------------------------------------------------------------
 # pretty printing
 # ---------------------------------------------------------------------------
 
 
+def _extends_right(term: Term) -> bool:
+    """Would more input to the right be swallowed by this term when parsed?
+
+    A match's case list keeps consuming ``| C ... -> ...`` alternatives, so
+    any term whose rightmost leaf is an (unparenthesized) match must be
+    wrapped in parentheses when printed inside another match's case.
+    """
+    if isinstance(term, MatchTerm):
+        return True
+    if isinstance(term, (LambdaTerm, FixTerm)):
+        return _extends_right(term.body)
+    if isinstance(term, IfTerm):
+        return _extends_right(term.else_)
+    if isinstance(term, LetTerm):
+        return _extends_right(term.body)
+    return False
+
+
+#: Term forms that must be parenthesized in application position.
+_NON_ATOMIC = (AppTerm, LambdaTerm, IfTerm, LetTerm, MatchTerm, FixTerm)
+
+
 def pretty_term(term: Term) -> str:
-    """Render a term in surface syntax."""
+    """Render a term in surface syntax (re-parseable by ``parse_term``)."""
     if isinstance(term, VarTerm):
         return term.name
     if isinstance(term, IntConst):
@@ -190,10 +232,13 @@ def pretty_term(term: Term) -> str:
     if isinstance(term, BoolConst):
         return "True" if term.value else "False"
     if isinstance(term, AppTerm):
+        fun = pretty_term(term.fun)
+        if isinstance(term.fun, (LambdaTerm, IfTerm, LetTerm, MatchTerm, FixTerm)):
+            fun = f"({fun})"
         arg = pretty_term(term.arg)
-        if isinstance(term.arg, (AppTerm, LambdaTerm, IfTerm)):
+        if isinstance(term.arg, _NON_ATOMIC):
             arg = f"({arg})"
-        return f"{pretty_term(term.fun)} {arg}"
+        return f"{fun} {arg}"
     if isinstance(term, LambdaTerm):
         return f"\\{term.arg_name} . {pretty_term(term.body)}"
     if isinstance(term, IfTerm):
@@ -205,11 +250,17 @@ def pretty_term(term: Term) -> str:
     if isinstance(term, LetTerm):
         return f"let {term.name} = {pretty_term(term.value)} in {pretty_term(term.body)}"
     if isinstance(term, MatchCase):
-        binders = " ".join(term.binders)
-        return f"{term.constructor} {binders} -> {pretty_term(term.body)}"
+        binders = "".join(f" {binder}" for binder in term.binders)
+        body = pretty_term(term.body)
+        if _extends_right(term.body):
+            body = f"({body})"
+        return f"{term.constructor}{binders} -> {body}"
     if isinstance(term, MatchTerm):
+        scrutinee = pretty_term(term.scrutinee)
+        if isinstance(term.scrutinee, (LambdaTerm, IfTerm, LetTerm, MatchTerm, FixTerm)):
+            scrutinee = f"({scrutinee})"
         cases = " | ".join(pretty_term(case) for case in term.cases)
-        return f"match {pretty_term(term.scrutinee)} with {cases}"
+        return f"match {scrutinee} with {cases}"
     if isinstance(term, FixTerm):
         return f"fix {term.name} . {pretty_term(term.body)}"
     if isinstance(term, Annot):

@@ -11,8 +11,10 @@ incremental SMT backend.
 from .checker import check, infer, subtype, well_formed
 from .environment import EMPTY, Environment
 from .errors import (
+    MatchError,
     ShapeError,
     SubtypingError,
+    TerminationError,
     TypecheckError,
     UnsupportedTermError,
     WellFormednessError,
@@ -23,9 +25,11 @@ from .session import TypecheckResult, TypecheckSession
 __all__ = [
     "EMPTY",
     "Environment",
+    "MatchError",
     "MusFixSolver",
     "ShapeError",
     "SubtypingError",
+    "TerminationError",
     "TypecheckError",
     "TypecheckResult",
     "TypecheckSession",

@@ -23,9 +23,24 @@ results.  Every emitted constraint carries the provenance trail of the
 obligation that produced it, so an unsolvable system names the program
 location at fault.
 
-``match`` and ``fix`` are recognised but rejected with
-:class:`UnsupportedTermError` — their elaboration (plus termination
-metrics) ships with the round-trip enumerator; see ROADMAP.
+``match`` elaboration (Sec. 3.2): the scrutinee must be a declared
+datatype; each case binds the constructor's arguments at its instantiated
+signature and checks the body under *constructor selfification* — the
+constructor's result refinement with ``nu`` replaced by the scrutinee —
+conjoined with the catamorphism unfolding of every measure on the
+datatype (``len(xs) == 1 + len(ys)`` in the ``Cons`` case).  Matches must
+be exhaustive.
+
+``fix`` (Sec. 3): the recursive occurrence is bound at the goal signature
+*strengthened with a termination metric*: every argument that has a
+well-founded metric (``nu`` for Int, the first Int-resulted measure for a
+datatype) is refined so the tuple of metrics decreases lexicographically
+and stays non-negative at every recursive call.
+
+At application sites, a polymorphic component's type variables are
+unified against the shape of the actual argument
+(:func:`_instantiate_at_application`), so ``Cons 3 xs`` elaborates at
+``a := Int`` instead of leaving ``a`` free.
 """
 
 from __future__ import annotations
@@ -47,6 +62,7 @@ from ..syntax.terms import (
     IntConst,
     LambdaTerm,
     LetTerm,
+    MatchCase,
     MatchTerm,
     Term,
     VarTerm,
@@ -57,22 +73,27 @@ from ..syntax.types import (
     ContextualType,
     DataBase,
     FunctionType,
+    IntBase,
     RType,
     ScalarType,
     TypeSchema,
+    TypeVarBase,
     same_shape,
+    shape,
     substitute_in_type,
     type_free_vars,
 )
 from .environment import Environment
 from .errors import (
+    MatchError,
     ShapeError,
+    TerminationError,
     TypecheckError,
-    UnsupportedTermError,
     WellFormednessError,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..syntax.datatypes import Datatype
     from .session import TypecheckSession
 
 Provenance = Tuple[str, ...]
@@ -143,12 +164,6 @@ def infer(
         well_formed(session, env, term.rtype)
         check(session, env, term.term, term.rtype, where + ("ascription",))
         return term.rtype
-    if isinstance(term, (MatchTerm, FixTerm)):
-        raise UnsupportedTermError(
-            f"{type(term).__name__} is not supported yet (match elaboration and "
-            "termination metrics arrive with the enumerator; see ROADMAP) "
-            f"at {_pretty_where(where)}"
-        )
     raise TypecheckError(
         f"cannot infer a type for the introduction term `{term!r}` "
         f"at {_pretty_where(where)}; check it against a goal type instead"
@@ -177,7 +192,7 @@ def _infer_var(
 def _infer_app(
     session: "TypecheckSession", env: Environment, term: AppTerm, where: Provenance
 ) -> RType:
-    fun_type = infer(session, env, term.fun, where + ("function",))
+    fun_type = _infer_fun_type(session, env, term, where)
     context: Tuple[Tuple[str, RType], ...] = ()
     if isinstance(fun_type, ContextualType):
         context = fun_type.bindings
@@ -234,6 +249,83 @@ def _infer_app(
     return ContextualType(context, result)
 
 
+def _infer_fun_type(
+    session: "TypecheckSession", env: Environment, term: AppTerm, where: Provenance
+) -> RType:
+    """The applied function's type — with type variables unified against the
+    argument when the function is a polymorphic component."""
+    if isinstance(term.fun, VarTerm):
+        bound = env.lookup(term.fun.name)
+        if isinstance(bound, TypeSchema) and bound.type_vars:
+            return _instantiate_at_application(session, env, bound, term.arg)
+    return infer(session, env, term.fun, where + ("function",))
+
+
+def _instantiate_at_application(
+    session: "TypecheckSession",
+    env: Environment,
+    schema: TypeSchema,
+    arg: Term,
+) -> RType:
+    """Instantiate a polymorphic schema at an application site by unifying
+    its first parameter's shape against the argument's (Sec. 3.3: type
+    variables are resolved structurally; refinements are erased so the
+    instantiation never narrows the component's domain).  Variables the
+    argument does not determine stay free — a later application or the
+    permissive sort compatibility of subtyping resolves them.
+    """
+    type_args: dict = {}
+    body = schema.body
+    if isinstance(body, FunctionType):
+        arg_shape = _term_shape(env, arg)
+        if arg_shape is not None:
+            _unify_shape(body.arg_type, arg_shape, frozenset(schema.type_vars), type_args)
+    return session.instantiate(schema, env, type_args=type_args)
+
+
+def _term_shape(env: Environment, term: Term) -> Optional[RType]:
+    """The simple-type skeleton of an E-term, when it is known without a
+    full inference walk."""
+    if isinstance(term, VarTerm):
+        bound = env.lookup(term.name)
+        if isinstance(bound, TypeSchema):
+            return None if bound.type_vars else shape(bound.body)
+        return None if bound is None else shape(bound)
+    if isinstance(term, IntConst):
+        return ScalarType(INT_BASE)
+    if isinstance(term, BoolConst):
+        return ScalarType(BOOL_BASE)
+    if isinstance(term, Annot):
+        return shape(term.rtype)
+    return None
+
+
+def _unify_shape(param: RType, arg: RType, type_vars: "frozenset", out: dict) -> None:
+    """Match ``param`` against ``arg`` structurally, binding the schema's
+    type variables to the argument's (refinement-erased) subtypes."""
+    if isinstance(param, ContextualType):
+        param = param.body
+    if isinstance(arg, ContextualType):
+        arg = arg.body
+    if isinstance(param, ScalarType) and isinstance(param.base, TypeVarBase):
+        name = param.base.name
+        if name in type_vars and name not in out and isinstance(arg, ScalarType):
+            out[name] = shape(arg)
+        return
+    if isinstance(param, ScalarType) and isinstance(arg, ScalarType):
+        if (
+            isinstance(param.base, DataBase)
+            and isinstance(arg.base, DataBase)
+            and param.base.name == arg.base.name
+        ):
+            for param_arg, arg_arg in zip(param.base.args, arg.base.args):
+                _unify_shape(param_arg, arg_arg, type_vars, out)
+        return
+    if isinstance(param, FunctionType) and isinstance(arg, FunctionType):
+        _unify_shape(param.arg_type, arg.arg_type, type_vars, out)
+        _unify_shape(param.result_type, arg.result_type, type_vars, out)
+
+
 def _as_refinement_term(env: Environment, term: Term) -> Optional[Formula]:
     """The refinement-logic translation of an E-term, when one exists."""
     if isinstance(term, IntConst):
@@ -283,12 +375,12 @@ def check(
             where + ("let body",),
         )
         return
-    if isinstance(term, (MatchTerm, FixTerm)):
-        raise UnsupportedTermError(
-            f"{type(term).__name__} is not supported yet (match elaboration and "
-            "termination metrics arrive with the enumerator; see ROADMAP) "
-            f"at {_pretty_where(where)}"
-        )
+    if isinstance(term, MatchTerm):
+        _check_match(session, env, term, goal, where)
+        return
+    if isinstance(term, FixTerm):
+        _check_fix(session, env, term, goal, where)
+        return
     inferred = infer(session, env, term, where)
     subtype(session, env, inferred, goal, where)
 
@@ -351,6 +443,291 @@ def _check_if(
     refuted = simplify(instantiate_value_var(cond_type.refinement, FALSE))
     check(session, branch_env.assume(guard), term.then_, goal, where + ("then-branch",))
     check(session, branch_env.assume(refuted), term.else_, goal, where + ("else-branch",))
+
+
+# ---------------------------------------------------------------------------
+# match elaboration (Sec. 3.2)
+# ---------------------------------------------------------------------------
+
+
+def _check_match(
+    session: "TypecheckSession",
+    env: Environment,
+    term: MatchTerm,
+    goal: RType,
+    where: Provenance,
+) -> None:
+    scrutinee_type = infer(session, env, term.scrutinee, where + ("scrutinee",))
+    context: Tuple[Tuple[str, RType], ...] = ()
+    if isinstance(scrutinee_type, ContextualType):
+        context = scrutinee_type.bindings
+        scrutinee_type = scrutinee_type.body
+    if not isinstance(scrutinee_type, ScalarType) or not isinstance(
+        scrutinee_type.base, DataBase
+    ):
+        raise MatchError(
+            f"scrutinee `{term.scrutinee!r}` has type `{scrutinee_type!r}`, "
+            f"expected a datatype, at {_pretty_where(where)}"
+        )
+    base = scrutinee_type.base
+    datatype = session.datatypes.get(base.name)
+    if datatype is None:
+        raise MatchError(
+            f"datatype `{base.name}` has no declaration in this session, "
+            f"at {_pretty_where(where)}"
+        )
+    match_env = env.bind_all(context)
+    # Name the scrutinee so constructor selfification and measure unfoldings
+    # can talk about it; a scrutinee that is not already a variable gets a
+    # fresh binding carrying its inferred type.
+    subject = _as_refinement_term(match_env, term.scrutinee)
+    if subject is None:
+        fresh = session.fresh_name("scr")
+        match_env = match_env.bind(fresh, scrutinee_type)
+        subject = Var(fresh, scrutinee_type.sort)
+    type_args = dict(zip(datatype.type_params, base.args))
+    covered: set = set()
+    for case in term.cases:
+        if case.constructor in covered:
+            raise MatchError(f"duplicate case for `{case.constructor}` at {_pretty_where(where)}")
+        covered.add(case.constructor)
+        _check_match_case(session, match_env, case, datatype, type_args, subject, goal, where)
+    missing = [name for name in datatype.constructor_names() if name not in covered]
+    if missing:
+        raise MatchError(
+            f"non-exhaustive match on `{base.name}`: missing "
+            f"{', '.join(missing)}, at {_pretty_where(where)}"
+        )
+
+
+def _check_match_case(
+    session: "TypecheckSession",
+    env: Environment,
+    case: MatchCase,
+    datatype: "Datatype",
+    type_args: dict,
+    subject: Formula,
+    goal: RType,
+    where: Provenance,
+) -> None:
+    ctor = datatype.find(case.constructor)
+    if ctor is None:
+        raise MatchError(
+            f"`{case.constructor}` is not a constructor of `{datatype.name}` "
+            f"(has: {', '.join(datatype.constructor_names())}), "
+            f"at {_pretty_where(where)}"
+        )
+    if len(set(case.binders)) != len(case.binders):
+        raise MatchError(
+            f"case `{case.constructor}` binds a name twice, at {_pretty_where(where)}",
+        )
+    where_case = where + (f"case {case.constructor}",)
+    node: RType = session.instantiate(ctor.schema, env, type_args=type_args)
+    mapping: dict = {}  # signature binder name -> case binder variable
+    binder_args: list = []  # per-position formulas for measure unfolding
+    case_env = env
+    for binder in case.binders:
+        if not isinstance(node, FunctionType):
+            raise MatchError(
+                f"constructor `{case.constructor}` takes {ctor.arity()} "
+                f"arguments, the case binds {len(case.binders)}, "
+                f"at {_pretty_where(where)}"
+            )
+        # A case binder reusing an in-scope name (often the scrutinee
+        # itself) must not capture the context's facts about it.
+        case_env, renamed = case_env.unshadow(binder)
+        if renamed:
+            goal = substitute_in_type(goal, renamed)
+            subject = substitute(subject, renamed)
+            node = substitute_in_type(node, renamed)
+            mapping = {name: substitute(value, renamed) for name, value in mapping.items()}
+            binder_args = [
+                None if value is None else substitute(value, renamed)
+                for value in binder_args
+            ]
+        arg_type = substitute_in_type(node.arg_type, mapping)
+        case_env = case_env.bind(binder, arg_type)
+        if isinstance(arg_type, ScalarType):
+            bound_var = Var(binder, arg_type.sort)
+            mapping[node.arg_name] = bound_var
+            binder_args.append(bound_var)
+        else:
+            binder_args.append(None)
+        node = node.result_type
+    if isinstance(node, FunctionType):
+        raise MatchError(
+            f"constructor `{case.constructor}` takes {ctor.arity()} arguments, "
+            f"the case binds {len(case.binders)}, at {_pretty_where(where)}"
+        )
+    # Constructor selfification: the constructor's result refinement holds
+    # of the scrutinee in this branch ...
+    result = substitute_in_type(node, mapping)
+    assert isinstance(result, ScalarType)
+    assumption = instantiate_value_var(result.refinement, subject)
+    # ... plus the catamorphism unfolding of every measure on the datatype.
+    for mdef in session.measures_for(datatype.name):
+        assumption = ops.and_(assumption, mdef.unfold(subject, case.constructor, binder_args))
+    check(session, case_env.assume(simplify(assumption)), case.body, goal, where_case)
+
+
+# ---------------------------------------------------------------------------
+# fix: recursion with termination metrics (Sec. 3)
+# ---------------------------------------------------------------------------
+
+
+def _check_fix(
+    session: "TypecheckSession",
+    env: Environment,
+    term: FixTerm,
+    goal: RType,
+    where: Provenance,
+) -> None:
+    if not isinstance(goal, FunctionType):
+        raise ShapeError(
+            f"fix checked against the non-function type `{goal!r}` "
+            f"at {_pretty_where(where)}"
+        )
+    where = where + (f"fix {term.name}",)
+    env, renamed = env.unshadow(term.name)
+    if renamed:
+        goal = substitute_in_type(goal, renamed)
+    # Peel the body's lambda spine in lockstep with the goal's arrows —
+    # exactly what _check_lambda would do — so the termination refinements
+    # of the recursive signature can name the bound arguments.
+    spine: list = []  # (binder, argument type as bound)
+    body: Term = term.body
+    remaining: RType = goal
+    inner_env = env
+    inner_where = where
+    while isinstance(remaining, FunctionType) and isinstance(body, LambdaTerm):
+        binder = body.arg_name
+        inner_env, renamed = inner_env.unshadow(binder)
+        if renamed:
+            remaining = substitute_in_type(remaining, renamed)
+            # An earlier spine binder being shadowed is renamed in the
+            # environment; its spine entry must follow, or the termination
+            # metric would compare against the inner (shadowing) variable.
+            spine = [
+                (
+                    renamed[name].name if name in renamed else name,
+                    substitute_in_type(rtype, renamed),
+                )
+                for name, rtype in spine
+            ]
+        goal_arg = remaining.arg_type
+        result = remaining.result_type
+        if binder != remaining.arg_name:
+            if binder in type_free_vars(result):
+                raise TypecheckError(
+                    f"lambda binder `{binder}` collides with a variable free in "
+                    f"the goal type `{remaining!r}`; alpha-rename the program, "
+                    f"at {_pretty_where(inner_where)}"
+                )
+            if isinstance(goal_arg, ScalarType):
+                result = substitute_in_type(
+                    result, {remaining.arg_name: Var(binder, goal_arg.sort)}
+                )
+        inner_env = inner_env.bind(binder, goal_arg)
+        spine.append((binder, goal_arg))
+        inner_where = inner_where + (f"\\{binder}",)
+        remaining = result
+        body = body.body
+    # A lambda binder reusing the fix name shadows the recursive occurrence
+    # entirely (no recursive call can be written), so only bind — and only
+    # demand a termination metric — when the name is actually visible.
+    if term.name not in {binder for binder, _ in spine}:
+        recursive = _termination_strengthened(session, spine, remaining, where)
+        inner_env = inner_env.bind(term.name, recursive)
+    check(session, inner_env, body, remaining, inner_where)
+
+
+def _metric(session: "TypecheckSession", rtype: RType):
+    """The termination metric of an argument type, as a formula builder:
+    the value itself for Int, the datatype's first Int-resulted measure for
+    a datatype, ``None`` when the type has no well-founded metric."""
+    if not isinstance(rtype, ScalarType):
+        return None
+    base = rtype.base
+    if isinstance(base, IntBase):
+        return lambda value: value
+    if isinstance(base, DataBase):
+        mdef = session.termination_measure(base.name)
+        if mdef is not None:
+            return mdef.apply
+    return None
+
+
+def _termination_strengthened(
+    session: "TypecheckSession",
+    spine: list,
+    result: RType,
+    where: Provenance,
+) -> RType:
+    """The recursive occurrence's signature: the goal's arrow spine with
+    every metric-bearing argument refined so the tuple of metrics is
+    lexicographically smaller than the enclosing call's.
+
+    With metric positions ``p1 < ... < pk`` over outer arguments
+    ``x1 ... xk`` and recursive binders ``y1 ... yk``, a *strict* descent
+    of component ``j`` is ``0 <= m(yj) && m(yj) < m(xj)`` — bounded below
+    exactly where well-foundedness needs it.  The last position demands a
+    strict descent (or an earlier one as escape); earlier positions only
+    demand ``m(nu) <= m(xi)`` (or an escape), so an integer accumulator
+    passed through or decremented alongside structural recursion does not
+    need a non-negativity proof.  Soundness: along an infinite call chain
+    component 1 never increases and each strict drop lands >= 0, so it
+    drops finitely often; once it is stable its escapes die and the
+    argument repeats at component 2, until the last component would have
+    to strictly descend below 0.
+    """
+    metric_positions = [
+        index for index, (_, rtype) in enumerate(spine) if _metric(session, rtype) is not None
+    ]
+    if not metric_positions:
+        raise TerminationError(
+            f"cannot establish termination at {_pretty_where(where)}: no "
+            "lambda-bound argument has a well-founded metric (Int, or a "
+            "datatype with an Int-resulted measure); bind the decreasing "
+            "argument with a lambda directly under the fix"
+        )
+    last = metric_positions[-1]
+    fresh_names = [session.fresh_name(name) for name, _ in spine]
+    mapping: dict = {}  # outer binder name -> recursive binder variable
+    strengthened: list = []
+    earlier_strict: list = []  # m_j(y_j) < m_j(x_j) escapes
+    for index, (binder, rtype) in enumerate(spine):
+        arg_type = substitute_in_type(rtype, mapping)
+        metric = _metric(session, arg_type)
+        if metric is not None:
+            assert isinstance(arg_type, ScalarType)
+            nu = value_var(arg_type.sort)
+            metric_nu = metric(nu)
+            metric_outer = metric(Var(binder, arg_type.sort))
+            if index == last:
+                descends = ops.and_(
+                    ops.le(ops.int_lit(0), metric_nu), ops.lt(metric_nu, metric_outer)
+                )
+            else:
+                descends = ops.le(metric_nu, metric_outer)
+            termination = descends
+            for strict in earlier_strict:
+                termination = ops.or_(termination, strict)
+            arg_type = ScalarType(arg_type.base, ops.and_(arg_type.refinement, termination))
+            recursive_var = Var(fresh_names[index], arg_type.sort)
+            metric_recursive = metric(recursive_var)
+            earlier_strict.append(
+                ops.and_(
+                    ops.le(ops.int_lit(0), metric_recursive),
+                    ops.lt(metric_recursive, metric_outer),
+                )
+            )
+        if isinstance(arg_type, ScalarType):
+            mapping[binder] = Var(fresh_names[index], arg_type.sort)
+        strengthened.append((fresh_names[index], arg_type))
+    rec_type: RType = substitute_in_type(result, mapping)
+    for name, arg_type in reversed(strengthened):
+        rec_type = FunctionType(name, arg_type, rec_type)
+    return rec_type
 
 
 # ---------------------------------------------------------------------------

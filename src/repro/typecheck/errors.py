@@ -27,9 +27,23 @@ class WellFormednessError(TypecheckError):
 
 
 class UnsupportedTermError(TypecheckError):
-    """A term form whose typing rule is not implemented in this layer
-    (match elaboration and fixpoints arrive with the enumerator; see
-    ROADMAP)."""
+    """A term form whose typing rule is not implemented.
+
+    No current term form triggers this — match and fix elaborated in the
+    datatypes PR — but the class stays exported for surface extensions
+    (e.g. intersection-typed terms, see ROADMAP) and their callers.
+    """
+
+
+class MatchError(TypecheckError):
+    """An ill-formed match: non-datatype scrutinee, unknown constructor,
+    wrong binder count, or a non-exhaustive case list."""
+
+
+class TerminationError(TypecheckError):
+    """A ``fix`` whose termination cannot be established: no argument has
+    a well-founded metric, or the body does not bind the decreasing
+    arguments with lambdas."""
 
 
 class SubtypingError(TypecheckError):

@@ -29,14 +29,16 @@ from ..horn.constraints import HornConstraint
 from ..horn.solver import Assignment, HornSolver
 from ..horn.spaces import QualifierSpace, build_space
 from ..logic import ops
-from ..logic.formulas import Formula, Unknown
+from ..logic.formulas import Formula, Unknown, value_var
+from ..logic.measures import MeasureDef, instantiate_postconditions
 from ..logic.qualifiers import Qualifier, default_qualifiers
 from ..logic.simplify import conjuncts
 from ..logic.sortcheck import MeasureSignatures
-from ..logic.sorts import Sort
+from ..logic.sorts import INT, Sort, UninterpretedSort
 from ..smt.interface import SolverBackend
 from ..smt.names import FreshNames
 from ..smt.solver import IncrementalSolver
+from ..syntax.datatypes import Datatype
 from ..syntax.terms import Term
 from ..syntax.types import BaseType, RType, ScalarType, TypeSchema, base_sort
 from . import checker
@@ -84,6 +86,8 @@ class TypecheckSession:
         literals: Iterable[Formula] = (),
         backend: Optional[SolverBackend] = None,
         measures: Optional[MeasureSignatures] = None,
+        datatypes: Iterable[Datatype] = (),
+        measure_defs: Iterable[MeasureDef] = (),
     ) -> None:
         self.qualifiers: List[Qualifier] = list(
             qualifiers if qualifiers is not None else default_qualifiers()
@@ -92,11 +96,52 @@ class TypecheckSession:
         #: qualifier space's placeholder pool.
         self.literals: Tuple[Formula, ...] = tuple(literals)
         self.backend: SolverBackend = (backend if backend is not None else IncrementalSolver())
+        #: Raw measure signatures for sort checking; measure *definitions*
+        #: (catamorphism cases + postconditions) add theirs automatically.
         self.measures: Dict[str, Tuple[Tuple[Sort, ...], Sort]] = dict(measures or {})
+        self.datatypes: Dict[str, Datatype] = {}
+        self.measure_defs: Dict[str, MeasureDef] = {}
         self.constraints: List[HornConstraint] = []
         self.spaces: Dict[str, QualifierSpace] = {}
         self.last_solver: Optional[HornSolver] = None
         self._names = FreshNames(prefix="_")
+        for datatype in datatypes:
+            self.declare_datatype(datatype)
+        for mdef in measure_defs:
+            self.declare_measure(mdef)
+
+    # -- datatype and measure registries -------------------------------------
+
+    def declare_datatype(self, datatype: Datatype) -> None:
+        """Register a datatype so ``match`` can elaborate its constructors."""
+        self.datatypes[datatype.name] = datatype
+
+    def declare_measure(self, mdef: MeasureDef) -> None:
+        """Register a measure: its signature joins the sort-checking map and
+        its axioms are instantiated at match sites and on every emitted
+        constraint."""
+        self.measure_defs[mdef.name] = mdef
+        self.measures[mdef.name] = mdef.signature()
+
+    def measures_for(self, datatype: str) -> List[MeasureDef]:
+        """The measures declared over ``datatype``, declaration order."""
+        return [m for m in self.measure_defs.values() if m.datatype == datatype]
+
+    def termination_measure(self, datatype: str) -> Optional[MeasureDef]:
+        """The measure a decreasing argument of ``datatype`` is compared by:
+        the first integer-resulted measure declared for it."""
+        for mdef in self.measure_defs.values():
+            if mdef.datatype == datatype and mdef.result_sort == INT:
+                return mdef
+        return None
+
+    def bind_constructors(self, env: Environment = EMPTY) -> Environment:
+        """``env`` extended with every registered constructor's schema, so
+        programs can apply constructors as ordinary components."""
+        for datatype in self.datatypes.values():
+            for ctor in datatype.constructors:
+                env = env.bind(ctor.name, ctor.schema)
+        return env
 
     # -- fresh unknowns (liquid abstraction) ---------------------------------
 
@@ -108,11 +153,33 @@ class TypecheckSession:
         self, env: Environment, value_sort: Optional[Sort], kind: str = "T"
     ) -> Unknown:
         """A fresh predicate unknown whose qualifier space is instantiated
-        from the variables in scope in ``env`` (plus session literals)."""
+        from the variables in scope in ``env`` (plus session literals, plus
+        measure applications over every datatype-sorted candidate — the
+        terms liquid inference needs to talk about lengths and sizes)."""
         name = self._names.fresh(kind)
         candidates = env.scope_candidates() + list(self.literals)
+        candidates.extend(self._measure_candidates(candidates, value_sort))
         self.spaces[name] = build_space(name, self.qualifiers, candidates, value_sort)
         return Unknown(name)
+
+    def _measure_candidates(
+        self, candidates: Sequence[Formula], value_sort: Optional[Sort]
+    ) -> List[Formula]:
+        """Applications ``m(c)`` of registered measures to the datatype-sorted
+        candidates (and the value variable) in scope."""
+        if not self.measure_defs:
+            return []
+        subjects = list(candidates)
+        if isinstance(value_sort, UninterpretedSort):
+            subjects.append(value_var(value_sort))
+        applications: List[Formula] = []
+        for subject in subjects:
+            sort = subject.sort
+            if not isinstance(sort, UninterpretedSort):
+                continue
+            for mdef in self.measures_for(sort.name):
+                applications.append(mdef.apply(subject))
+        return applications
 
     def fresh_scalar(self, env: Environment, base: BaseType) -> ScalarType:
         """A scalar type refined by a fresh unknown — the checker's stand-in
@@ -146,7 +213,17 @@ class TypecheckSession:
     ) -> None:
         """Record ``premises ==> conclusion``, splitting the conclusion into
         conjuncts so each constraint is Horn-shaped (a lone unknown or an
-        unknown-free formula on the right)."""
+        unknown-free formula on the right).
+
+        Measure postconditions are instantiated here: every measure
+        application occurring in the obligation contributes its axiom
+        instance (e.g. ``len(xs) >= 0``) as an extra premise, which is how
+        catamorphism facts reach the Horn solver without quantifiers.
+        """
+        if self.measure_defs:
+            axioms = instantiate_postconditions(list(premises) + [conclusion], self.measure_defs)
+            if axioms:
+                premises = list(premises) + axioms
         for conjunct in conjuncts(conclusion):
             try:
                 self.constraints.append(

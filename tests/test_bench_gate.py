@@ -1,0 +1,92 @@
+"""Unit tests for the CI perf regression gate (scripts/check_bench_regression.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "check_bench_regression.py"
+spec = importlib.util.spec_from_file_location("check_bench_regression", SCRIPT)
+gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(gate)
+
+
+def report(path: Path, **means) -> Path:
+    payload = {
+        "suite": "test",
+        "benchmarks": [{"name": name, "mean_s": mean} for name, mean in means.items()],
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        failures, ratios, skipped = gate.compare(
+            {"a": 0.010, "b": 0.020}, {"a": 0.019, "b": 0.030}, 2.5, 0.002
+        )
+        assert failures == []
+        assert {name for name, _ in ratios} == {"a", "b"}
+        assert skipped == []
+
+    def test_regression_fails_per_case(self):
+        baseline = {"a": 0.010, "b": 0.010}
+        failures, _, _ = gate.compare(baseline, {"a": 0.030, "b": 0.011}, 2.5, 0.002)
+        assert len(failures) == 1
+        assert failures[0].startswith("a ")
+        assert "2.50x" in failures[0]
+
+    def test_threshold_is_strict_greater(self):
+        failures, _, _ = gate.compare({"a": 0.010}, {"a": 0.025}, 2.5, 0.002)
+        assert failures == []
+
+    def test_sub_noise_cases_are_exempt(self):
+        """A 10x blowup between 50us and 500us is machine noise, not a
+        solver regression."""
+        failures, ratios, skipped = gate.compare({"a": 0.00005}, {"a": 0.0005}, 2.5, 0.002)
+        assert failures == []
+        assert ratios == []
+        assert skipped and "sub-noise" in skipped[0]
+
+    def test_one_sided_cases_are_reported_not_failed(self):
+        failures, ratios, skipped = gate.compare({"old": 0.01}, {"new": 0.01}, 2.5, 0.002)
+        assert failures == []
+        assert ratios == []
+        assert any("no baseline" in note for note in skipped)
+        assert any("not measured" in note for note in skipped)
+
+
+class TestEndToEnd:
+    def test_main_exit_codes_and_summary(self, tmp_path, capsys, monkeypatch):
+        baseline = report(tmp_path / "base.json", case=0.010)
+        good = report(tmp_path / "good.json", case=0.012)
+        bad = report(tmp_path / "bad.json", case=0.100)
+
+        monkeypatch.setattr(
+            "sys.argv",
+            ["gate", "--baseline", str(baseline), "--candidate", str(good)],
+        )
+        assert gate.main() == 0
+        summary = capsys.readouterr().out.strip()
+        assert summary.count("\n") == 0, "gate must print exactly one line"
+        assert "OK" in summary and "worst: case" in summary
+
+        monkeypatch.setattr(
+            "sys.argv",
+            ["gate", "--baseline", str(baseline), "--candidate", str(bad)],
+        )
+        assert gate.main() == 1
+        summary = capsys.readouterr().out.strip()
+        assert "FAIL" in summary and "case 10.00x > 2.50x" in summary
+
+    def test_committed_baselines_are_loadable(self):
+        root = SCRIPT.parent.parent
+        horn = gate.load_means(root / "BENCH_horn.json")
+        typecheck = gate.load_means(root / "BENCH_typecheck.json")
+        assert {"horn.max", "horn.abs"} <= set(horn)
+        assert {
+            "typecheck.length",
+            "typecheck.append",
+            "typecheck.replicate",
+            "typecheck.stutter",
+            "typecheck.stutter-reject",
+        } == set(typecheck)

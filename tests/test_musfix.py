@@ -1,0 +1,53 @@
+"""Regression tests pinning the MusFixSolver interface stub.
+
+The MARCO-style MUS enumerator ships with the multiple-candidate Horn
+solver (see ROADMAP, "Multiple candidates / MUSFix"); until then the stub
+must keep its exact interface shape — future callers are written against
+it — and every method must fail loudly with a pointer to the ROADMAP
+item, never with a bare ``NotImplementedError``.
+"""
+
+import inspect
+
+import pytest
+
+from repro.horn import HornConstraint, build_space
+from repro.logic import ops
+from repro.logic.formulas import Unknown
+from repro.logic.qualifiers import default_qualifiers
+from repro.logic.sorts import INT
+from repro.typecheck import MusFixSolver
+
+
+def make_solver() -> MusFixSolver:
+    space = build_space("P", default_qualifiers(), [ops.var("x", INT)], value_sort=INT)
+    return MusFixSolver({"P": space})
+
+
+class TestMusFixInterfaceShape:
+    def test_constructor_takes_a_space_map(self):
+        parameters = list(inspect.signature(MusFixSolver.__init__).parameters)
+        assert parameters == ["self", "spaces"]
+        solver = make_solver()
+        assert set(solver.spaces) == {"P"}
+
+    def test_enumerate_muses_signature(self):
+        parameters = list(inspect.signature(MusFixSolver.enumerate_muses).parameters)
+        assert parameters == ["self", "constraint", "valuation"]
+
+    def test_prune_candidates_signature(self):
+        parameters = list(inspect.signature(MusFixSolver.prune_candidates).parameters)
+        assert parameters == ["self", "candidates", "constraint"]
+
+    def test_methods_raise_with_roadmap_pointer(self):
+        solver = make_solver()
+        constraint = HornConstraint((Unknown("P"),), ops.ge(ops.var("x", INT), ops.int_lit(0)))
+        with pytest.raises(NotImplementedError) as enumerate_error:
+            list(solver.enumerate_muses(constraint, [ops.bool_lit(True)]))
+        with pytest.raises(NotImplementedError) as prune_error:
+            solver.prune_candidates([], constraint)
+        for excinfo in (enumerate_error, prune_error):
+            message = str(excinfo.value)
+            assert message, "NotImplementedError must carry a message, not be bare"
+            assert "ROADMAP" in message
+            assert "Multiple candidates / MUSFix" in message

@@ -1,0 +1,181 @@
+"""Property-style round-trip tests: ``parse(pretty(t)) == t``.
+
+A seeded random generator produces terms over the full surface grammar
+(lambdas, applications, conditionals, lets, matches, fixes, ascriptions)
+and declarations; pretty-printing then re-parsing must reproduce the AST
+exactly.  Deterministic seeds keep the suite reproducible while still
+sweeping a few hundred shapes per run.
+"""
+
+import random
+
+import pytest
+
+from repro.logic import ops
+from repro.logic.formulas import value_var
+from repro.logic.sorts import INT
+from repro.syntax import (
+    Annot,
+    AppTerm,
+    BoolConst,
+    FixTerm,
+    IfTerm,
+    IntConst,
+    LambdaTerm,
+    LetTerm,
+    MatchCase,
+    MatchTerm,
+    ParseError,
+    VarTerm,
+    int_type,
+    len_measure,
+    list_datatype,
+    parse_datatype,
+    parse_declarations,
+    parse_measure,
+    parse_term,
+    pretty_datatype,
+    pretty_measure,
+    pretty_term,
+)
+
+NAMES = ["x", "y", "zs", "acc", "f'"]
+CONSTRUCTORS = [("Nil", 0), ("Cons", 2)]
+
+
+def random_term(rng: random.Random, depth: int):
+    """A random term; leaf probability grows as depth shrinks."""
+    if depth <= 0 or rng.random() < 0.25:
+        return rng.choice(
+            [
+                VarTerm(rng.choice(NAMES)),
+                IntConst(rng.randrange(100)),
+                BoolConst(rng.random() < 0.5),
+            ]
+        )
+    shape = rng.randrange(7)
+    if shape == 0:
+        return LambdaTerm(rng.choice(NAMES), random_term(rng, depth - 1))
+    if shape == 1:
+        return AppTerm(random_term(rng, depth - 1), random_term(rng, depth - 1))
+    if shape == 2:
+        return IfTerm(
+            random_term(rng, depth - 1),
+            random_term(rng, depth - 1),
+            random_term(rng, depth - 1),
+        )
+    if shape == 3:
+        return LetTerm(
+            rng.choice(NAMES),
+            random_term(rng, depth - 1),
+            random_term(rng, depth - 1),
+        )
+    if shape == 4:
+        return FixTerm(rng.choice(NAMES), random_term(rng, depth - 1))
+    if shape == 5:
+        cases = []
+        for name, arity in rng.sample(CONSTRUCTORS, rng.randrange(1, 3)):
+            binders = tuple(rng.sample(NAMES, arity))
+            cases.append(MatchCase(name, binders, random_term(rng, depth - 1)))
+        return MatchTerm(random_term(rng, depth - 1), tuple(cases))
+    nu = value_var(INT)
+    rtype = rng.choice([int_type(), int_type(ops.ge(nu, ops.int_lit(0)))])
+    return Annot(random_term(rng, depth - 1), rtype)
+
+
+class TestTermRoundTrips:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_terms_round_trip(self, seed):
+        rng = random.Random(seed)
+        for _ in range(20):
+            term = random_term(rng, rng.randrange(1, 5))
+            printed = pretty_term(term)
+            assert parse_term(printed) == term, printed
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "fix length . \\xs . match xs with Nil -> 0 | Cons y ys -> inc (length ys)",
+            "match xs with Nil -> (match ys with Nil -> 0 | Cons a b -> 1) | Cons a b -> 2",
+            "match xs with Nil -> (\\z . match z with Nil -> z) | Cons a b -> g",
+            "f (match xs with Nil -> 0) (fix g . \\n . g n)",
+            "let r = if leq n 0 then Nil else Cons x r in r",
+            "(0 :: {Int | (nu >= 0)})",
+            "if a then (let b = c in b) else (\\d . d) e",
+        ],
+    )
+    def test_directed_shapes_round_trip(self, source):
+        term = parse_term(source)
+        assert parse_term(pretty_term(term)) == term
+
+    def test_inner_match_is_parenthesized(self):
+        inner = MatchTerm(VarTerm("ys"), (MatchCase("Nil", (), IntConst(0)),))
+        outer = MatchTerm(
+            VarTerm("xs"),
+            (MatchCase("Nil", (), inner), MatchCase("Cons", ("a", "b"), IntConst(1))),
+        )
+        printed = pretty_term(outer)
+        assert "(" in printed
+        assert parse_term(printed) == outer
+
+    def test_keywords_are_reserved(self):
+        with pytest.raises(ParseError):
+            parse_term("\\match . match")
+        with pytest.raises(ParseError):
+            parse_term("let data = 1 in data")
+
+    def test_term_parse_errors(self):
+        for bad in ["", "match xs with", "fix . x", "\\x x", "(x", "if a then b"]:
+            with pytest.raises(ParseError):
+                parse_term(bad)
+
+
+class TestDeclarationRoundTrips:
+    def test_list_datatype_round_trips(self):
+        datatype = list_datatype()
+        printed = pretty_datatype(datatype)
+        measures = {"len": len_measure().signature()}
+        assert parse_datatype(printed, measures=measures) == datatype
+
+    def test_len_measure_round_trips(self):
+        measure = len_measure()
+        printed = pretty_measure(measure)
+        assert parse_measure(printed, {"List": list_datatype()}) == measure
+
+    def test_declaration_block_round_trips(self):
+        datatype, measure = list_datatype(), len_measure()
+        block = f"{pretty_datatype(datatype)}\n{pretty_measure(measure)}"
+        declarations = parse_declarations(block)
+        assert declarations.datatypes == {"List": datatype}
+        assert declarations.measures == {"len": measure}
+
+    def test_order_independence(self):
+        """measure-before-data resolves identically to data-before-measure."""
+        datatype, measure = list_datatype(), len_measure()
+        block = f"{pretty_measure(measure)}\n{pretty_datatype(datatype)}"
+        declarations = parse_declarations(block)
+        assert declarations.datatypes == {"List": datatype}
+        assert declarations.measures == {"len": measure}
+
+    def test_declaration_errors(self):
+        with pytest.raises(ParseError, match="data.*or.*measure|expected a"):
+            parse_declarations("42")
+        with pytest.raises(ParseError, match="must produce"):
+            parse_datatype("data List a where Nil :: Int")
+        with pytest.raises(ParseError, match="undeclared datatype"):
+            parse_measure("measure size :: Tree -> Int where Leaf -> 0", {})
+        with pytest.raises(ParseError, match="takes 2 arguments"):
+            parse_measure(
+                "measure len :: List a -> Int where Nil -> 0 | Cons x -> 1",
+                {"List": list_datatype()},
+            )
+        with pytest.raises(ParseError, match="sort"):
+            parse_measure(
+                "measure len :: List a -> Int where Nil -> True | Cons x xs -> 1",
+                {"List": list_datatype()},
+            )
+        with pytest.raises(ParseError, match="binds a name twice"):
+            parse_measure(
+                "measure len :: List a -> Int where Nil -> 0 | Cons x x -> 0",
+                {"List": list_datatype()},
+            )

@@ -35,7 +35,6 @@ from repro.typecheck import (
     SubtypingError,
     TypecheckError,
     TypecheckSession,
-    UnsupportedTermError,
     WellFormednessError,
 )
 from repro.typecheck.musfix import MusFixSolver
@@ -269,18 +268,18 @@ class TestShapeErrors:
             session.infer(EMPTY, lam("x", body=v("x")))
 
 
-class TestUnsupportedForms:
-    def test_match_is_rejected_with_pointer_to_roadmap(self):
+class TestIntroductionForms:
+    def test_match_cannot_be_inferred(self):
+        """match/fix are introduction terms: they check against a goal but
+        have no inferred type."""
         session = TypecheckSession()
         term = MatchTerm(v("xs"), (MatchCase("Nil", (), lit(0)),))
-        with pytest.raises(UnsupportedTermError, match="ROADMAP"):
-            session.check(EMPTY, term, int_type(), "match")
-        with pytest.raises(UnsupportedTermError, match="ROADMAP"):
-            session.infer(EMPTY, term)
+        with pytest.raises(TypecheckError, match="cannot infer"):
+            session.infer(EMPTY.bind("xs", int_type()), term)
 
-    def test_fix_is_rejected(self):
+    def test_fix_against_scalar_goal_is_a_shape_error(self):
         session = TypecheckSession()
-        with pytest.raises(UnsupportedTermError, match="ROADMAP"):
+        with pytest.raises(ShapeError, match="non-function"):
             session.check(EMPTY, FixTerm("f", v("f")), int_type(), "fix")
 
 
