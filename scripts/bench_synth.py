@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Perf smoke benchmark: the paper's synthesis benchmarks end to end.
+
+Times the full round-trip synthesis pipeline — program parsing, E-term
+enumeration with early liquid pruning, condition abduction, and the final
+independent re-check — on the ``examples/*.sq`` goals::
+
+    PYTHONPATH=src python scripts/bench_synth.py --output BENCH_synth.json
+
+As with the other bench scripts, deterministic enumeration counters
+(candidates generated, pruned early, abductions, SMT queries) are recorded
+next to the wall-clock numbers so a perf regression can be triaged on any
+machine; CI compares the timings against the committed baseline with
+``scripts/check_bench_regression.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.syntax import parse_program  # noqa: E402
+from repro.synth import SynthesisGoal, Synthesizer  # noqa: E402
+
+#: (benchmark name, example file, goal, enumeration depth)
+WORKLOADS = [
+    ("synth.max", "max.sq", "max", 3),
+    ("synth.replicate", "replicate.sq", "replicate", 4),
+    ("synth.stutter", "stutter.sq", "stutter", 4),
+    ("synth.length", "list.sq", "length", 3),
+    ("synth.append", "list.sq", "append", 4),
+]
+
+
+def run_workload(source: str, goal_name: str, depth: int):
+    start = time.perf_counter()
+    program = parse_program(source)
+    synthesizer = Synthesizer(SynthesisGoal.from_program(program, goal_name), max_depth=depth)
+    result = synthesizer.synthesize()
+    elapsed = time.perf_counter() - start
+    assert result.solved and result.verified, f"benchmark goal {goal_name} changed verdict"
+    counters = result.statistics.as_dict()
+    counters["sat_queries"] = synthesizer.session.backend.statistics.sat_queries
+    return elapsed, counters
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_synth.json", help="report path")
+    parser.add_argument("--repeat", type=int, default=3, help="runs per benchmark")
+    args = parser.parse_args()
+
+    report = {
+        "suite": "synth-perf-smoke",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repeat": args.repeat,
+        "benchmarks": [],
+    }
+    for name, filename, goal_name, depth in WORKLOADS:
+        source = (ROOT / "examples" / filename).read_text()
+        timings = []
+        counters = {}
+        for _ in range(args.repeat):
+            elapsed, counters = run_workload(source, goal_name, depth)
+            timings.append(elapsed)
+        entry = {
+            "name": name,
+            "mean_s": statistics.mean(timings),
+            "min_s": min(timings),
+            "max_s": max(timings),
+            "counters": counters,
+        }
+        report["benchmarks"].append(entry)
+        print(
+            f"{name:20s} mean={entry['mean_s'] * 1000:7.2f}ms "
+            f"min={entry['min_s'] * 1000:7.2f}ms "
+            f"counters={counters}"
+        )
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

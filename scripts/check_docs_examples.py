@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Docs example gate: extract CLI commands from markdown and execute them.
+
+Every fenced ``console`` code block in the given markdown files is
+scanned for lines starting with ``$ ``; each such command that references
+the ``python -m repro`` CLI is executed from the repository root (with
+``PYTHONPATH=src``) and must exit 0.  Anything else — prose, output
+lines, non-CLI commands like ``pip install`` — is ignored, so docs stay
+free-form while their CLI examples can never rot::
+
+    python scripts/check_docs_examples.py docs/*.md README.md
+
+A block whose info string contains ``skip`` (e.g. ```` ```console skip ````)
+is excluded, for examples that deliberately show failing invocations.
+Exactly one summary line is printed per file plus one for the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shlex
+import subprocess
+import sys
+from os import environ
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# Fences may be indented (e.g. inside a bullet list); the body's own
+# indentation is stripped before looking for `$ ` command lines.
+_FENCE_RE = re.compile(
+    r"^(?P<indent>[ \t]*)```(?P<info>[^\n]*)\n(?P<body>.*?)^[ \t]*```[ \t]*$", re.M | re.S
+)
+
+
+def extract_commands(markdown: str):
+    """The ``$ ``-prefixed CLI commands of every non-skipped console block."""
+    commands = []
+    for match in _FENCE_RE.finditer(markdown):
+        info = match.group("info").strip().lower()
+        if not info.startswith("console") or "skip" in info:
+            continue
+        for line in match.group("body").splitlines():
+            line = line.strip()
+            if line.startswith("$ ") and "python -m repro" in line:
+                commands.append(line[2:].strip())
+    return commands
+
+
+def run_command(command: str):
+    """Execute one documented command; returns (exit code, combined output).
+
+    Leading VAR=value words (e.g. ``PYTHONPATH=src python -m repro ...``)
+    are folded into the environment instead of being exec'd, and a
+    non-executable command is reported as a failure rather than a crash.
+    """
+    env = dict(environ)
+    env["PYTHONPATH"] = f"{ROOT / 'src'}" + (
+        f":{env['PYTHONPATH']}" if env.get("PYTHONPATH") else ""
+    )
+    words = shlex.split(command)
+    while words and "=" in words[0] and not words[0].startswith("="):
+        key, _, value = words.pop(0).partition("=")
+        env[key] = value
+    try:
+        done = subprocess.run(words, cwd=ROOT, env=env, capture_output=True, text=True)
+    except OSError as error:
+        return 127, str(error)
+    return done.returncode, done.stdout + done.stderr
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "files",
+        nargs="*",
+        default=["docs/architecture.md", "docs/synthesis-tutorial.md", "README.md"],
+        help="markdown files to scan (default: docs/ pages and the README)",
+    )
+    args = parser.parse_args()
+
+    failures = 0
+    total = 0
+    for name in args.files:
+        path = ROOT / name
+        commands = extract_commands(path.read_text())
+        broken = []
+        for command in commands:
+            total += 1
+            code, output = run_command(command)
+            if code != 0:
+                failures += 1
+                broken.append(f"`{command}` exited {code}")
+                # Ship the command's own output to the log: it is the only
+                # way to triage a regressed example from CI.
+                for line in output.strip().splitlines():
+                    print(f"    {line}", file=sys.stderr)
+        status = "ok" if not broken else "; ".join(broken)
+        print(f"{name}: {len(commands)} CLI example(s), {status}")
+    print(
+        f"docs-examples: {total - failures}/{total} commands ran clean"
+        + ("" if not failures else f", {failures} FAILED")
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,203 @@
+"""The command-line driver: ``python -m repro {check,synth} file.sq``.
+
+A ``.sq`` file interleaves ``data`` / ``measure`` declarations, component
+signatures ``name :: type``, checked definitions ``name = term``, and
+synthesis goals ``name = ??`` (see :func:`repro.syntax.parser.
+parse_program` for the exact layout rules).  ``check`` runs every
+definition through the refinement type checker against its signature;
+``synth`` runs the round-trip synthesizer on every goal, prints the
+programs it finds together with enumeration statistics, and re-checks
+each one through the ordinary checker before reporting success.
+
+Exit codes: ``0`` — everything checked / every goal synthesized and
+verified; ``1`` — a definition was refuted or a goal was not synthesized;
+``2`` — usage errors, unreadable files, or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, TextIO
+
+from .syntax.parser import ParseError, Program, parse_program
+from .syntax.types import generalize
+from .synth.synthesizer import SynthesisGoal, Synthesizer, describe_goal
+from .typecheck.environment import EMPTY
+from .typecheck.errors import TypecheckError
+from .typecheck.session import TypecheckSession
+
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+
+
+class _CliError(Exception):
+    """A user-facing failure with an exit code."""
+
+    def __init__(self, message: str, code: int = EXIT_USAGE) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def _load_program(path: str) -> Program:
+    try:
+        with open(path, "r") as handle:
+            source = handle.read()
+    except OSError as error:
+        raise _CliError(f"cannot read {path}: {error.strerror or error}") from error
+    try:
+        return parse_program(source)
+    except ParseError as error:
+        raise _CliError(f"{path}: parse error: {error}") from error
+
+
+def _component_environment(program: Program, upto: str):
+    """A fresh session and environment for checking or synthesizing the
+    item named ``upto``: constructors plus every signature declared
+    *before* it in the file (so later components cannot be assumed —
+    recursion goes through ``fix`` and its termination metric instead)."""
+    session = TypecheckSession(
+        datatypes=program.datatypes.values(),
+        measure_defs=program.measures.values(),
+    )
+    env = session.bind_constructors(EMPTY)
+    for name, rtype in program.signatures.items():
+        if name == upto:
+            break
+        env = env.bind(name, generalize(rtype))
+    return session, env
+
+
+def _run_check(program: Program, path: str, out: TextIO) -> int:
+    failures = 0
+    for name, term in program.definitions.items():
+        session, env = _component_environment(program, name)
+        goal = program.signatures[name]
+        try:
+            session.check_program(term, goal, env, where=name)
+            outcome = session.solve()
+        except TypecheckError as error:
+            print(f"{name}: REJECTED — {error}", file=out)
+            failures += 1
+            continue
+        if outcome.solved:
+            print(f"{name}: OK", file=out)
+        else:
+            print(f"{name}: REJECTED — {outcome.error_message}", file=out)
+            failures += 1
+    for name in program.goals:
+        print(f"{name}: skipped (synthesis goal; run `synth`)", file=out)
+    if not program.definitions:
+        # A file of signatures and goals is valid input with nothing to do —
+        # not an error (the exit-code contract reserves 1 for refutations).
+        print(f"{path}: no definitions to check (only signatures or goals)", file=out)
+    return EXIT_FAILURE if failures else EXIT_OK
+
+
+def _run_synth(program: Program, path: str, args, out: TextIO) -> int:
+    goals: List[str] = list(program.goals)
+    if args.only is not None:
+        if args.only not in program.signatures:
+            raise _CliError(f"{path}: no signature for goal `{args.only}`")
+        goals = [args.only]
+    if not goals:
+        print(f"{path}: no synthesis goals (write `name = ??` after a signature)", file=out)
+        return EXIT_FAILURE
+    failures = 0
+    for name in goals:
+        # Every *other* signature in the file is a component — the same
+        # pool the scriptable API and the benchmarks use.  (Definitions
+        # are still checked in declaration order by `check`; synthesis
+        # trusts signatures, so order does not matter here.)
+        goal = SynthesisGoal.from_program(program, name)
+        print(f"synthesizing {describe_goal(goal)}", file=out)
+        synthesizer = Synthesizer(
+            goal,
+            max_depth=args.depth,
+            max_conditionals=args.max_conditionals,
+            max_matches=args.max_matches,
+        )
+        result = synthesizer.synthesize()
+        if not result.solved:
+            print(f"  {result.reason}", file=out)
+            failures += 1
+            continue
+        print(result.pretty(), file=out)
+        if not args.quiet:
+            stats = result.statistics
+            print(
+                f"  candidates generated: {stats.generated}, "
+                f"pruned early: {stats.pruned_early} "
+                f"(+{stats.pruned_shape} by shape), "
+                f"local checks: {stats.checked}, "
+                f"goal checks: {stats.goal_checks}, "
+                f"abductions: {stats.abductions}, "
+                f"verified: {'yes' if result.verified else 'NO'}",
+                file=out,
+            )
+        if not result.verified:
+            print(f"  {name}: synthesized program failed re-checking", file=out)
+            failures += 1
+    return EXIT_FAILURE if failures else EXIT_OK
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Refinement-type checking and round-trip program synthesis.",
+    )
+    commands = parser.add_subparsers(dest="command", metavar="{check,synth}")
+    check = commands.add_parser(
+        "check", help="type-check every definition in a .sq file against its signature"
+    )
+    check.add_argument("file", help="the .sq source file")
+    synth = commands.add_parser("synth", help="synthesize every `name = ??` goal in a .sq file")
+    synth.add_argument("file", help="the .sq source file")
+    synth.add_argument(
+        "--depth", type=int, default=4, help="E-term enumeration depth bound (default 4)"
+    )
+    synth.add_argument(
+        "--max-conditionals",
+        type=int,
+        default=1,
+        help="how many nested abduced conditionals to allow (default 1)",
+    )
+    synth.add_argument(
+        "--max-matches",
+        type=int,
+        default=1,
+        help="how many nested matches to allow (default 1)",
+    )
+    synth.add_argument("--only", metavar="NAME", help="synthesize just this goal")
+    synth.add_argument(
+        "--quiet", action="store_true", help="suppress the enumeration statistics line"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out: TextIO = sys.stdout) -> int:
+    """Entry point; returns the process exit code (see module docstring)."""
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exit_:
+        # argparse already printed a usage or "invalid choice" message.
+        code = exit_.code
+        return EXIT_OK if code in (0, None) else EXIT_USAGE
+    if args.command is None:
+        parser.print_usage(sys.stderr)
+        print("error: expected a subcommand: check or synth", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        program = _load_program(args.file)
+        if args.command == "check":
+            return _run_check(program, args.file, out)
+        return _run_synth(program, args.file, args, out)
+    except _CliError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return error.code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

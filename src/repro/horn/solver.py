@@ -1,4 +1,14 @@
-"""The greatest-fixpoint Horn-constraint solver (MUSFix-style, Sec. 5).
+"""The greatest-fixpoint Horn-constraint solver (MUSFix-style).
+
+Implements the constraint-solving procedure of Polikarpova, Kuraj &
+Solar-Lezama, *Program Synthesis from Polymorphic Refinement Types*
+(PLDI 2016): Sec. 5.1 (the greatest-fixpoint iteration over candidate
+valuations, initialised at the strongest assignment), Sec. 5.2's use of
+*weakest* solutions for unknowns in negative positions (served here by
+:meth:`HornSolver._minimize` and by the smallest-first search in
+:mod:`repro.synth.conditions`), and the single-candidate special case of
+the MUSFix algorithm of Sec. 5.3 — the multi-candidate generalisation is
+stubbed in :mod:`repro.typecheck.musfix` (see ROADMAP).
 
 The solver maintains a candidate assignment ``L`` mapping each predicate
 unknown to a subset of its qualifier space, starting from the *strongest*

@@ -96,9 +96,10 @@ class _Token(NamedTuple):
 _TOKEN_RE = re.compile(
     r"""
     (?P<space>\s+)
+  | (?P<comment>--[^\n]*)
   | (?P<int>\d+)
   | (?P<ident>[A-Za-z_][A-Za-z0-9_']*)
-  | (?P<symbol><==>|==>|->|&&|\|\||==|!=|<=|>=|::|<|>|[{}()\[\]|:,.+\-*!\\=])
+  | (?P<symbol><==>|==>|->|&&|\|\||==|!=|<=|>=|::|\?\?|<|>|[{}()\[\]|:,.+\-*!\\=])
     """,
     re.VERBOSE,
 )
@@ -128,7 +129,7 @@ def _tokenize(text: str) -> List[_Token]:
             raise ParseError(f"unexpected character {text[position]!r}", text, position)
         position = match.end()
         kind = match.lastgroup or ""
-        if kind == "space":
+        if kind in ("space", "comment"):
             continue
         tokens.append(_Token(kind, match.group(), match.start()))
     tokens.append(_Token("eof", "", len(text)))
@@ -781,6 +782,150 @@ def parse_declarations(text: str) -> Declarations:
             _expect_eof(parser)
             measures[measure.name] = measure
     return Declarations(datatypes, measures)
+
+
+class Program(NamedTuple):
+    """A parsed ``.sq``-style source file: declarations, component
+    signatures, definitions to check, and synthesis goals."""
+
+    datatypes: Dict[str, Datatype]
+    measures: Dict[str, MeasureDef]
+    #: Component and goal signatures, ``name :: type``, file order.
+    signatures: Dict[str, RType]
+    #: Definitions ``name = term`` to be checked against their signature.
+    definitions: Dict[str, Term]
+    #: Names declared ``name = ??`` — programs to be synthesized.
+    goals: Tuple[str, ...]
+
+
+def _split_program(text: str) -> List[Tuple[str, str, int]]:
+    """Split a program into declaration chunks ``(kind, chunk, position)``.
+
+    A declaration starts at a top-level identifier in column 0 (bracket
+    depth zero, not indented) that is either the keyword ``data`` /
+    ``measure`` or is followed by ``::`` (a signature) or ``=`` (a
+    definition); continuation lines must be indented, Haskell-style.  The
+    column anchoring is what lets definition bodies contain ``let x = ...``
+    and ascriptions ``(e :: T)``, and multi-line declarations indented
+    constructor lines, without closing the chunk early.
+    """
+    tokens = _tokenize(text)
+    line_starts = {0}
+    for index, char in enumerate(text):
+        if char == "\n":
+            line_starts.add(index + 1)
+
+    starts: List[int] = []
+    depth = 0
+    for index, token in enumerate(tokens):
+        if token.kind == "eof":
+            break
+        if depth == 0 and token.kind == "ident" and token.position in line_starts:
+            follower = tokens[index + 1].value
+            if token.value in ("data", "measure") or follower in ("::", "="):
+                starts.append(index)
+        if token.kind == "symbol":
+            if token.value in "([{":
+                depth += 1
+            elif token.value in ")]}":
+                depth = max(0, depth - 1)
+    if tokens[0].kind == "eof":
+        raise ParseError("empty program", text, 0)
+    if not starts or starts[0] != 0:
+        raise ParseError(
+            "expected a declaration (`data`, `measure`, `name :: type`, or `name = term`)",
+            text,
+            tokens[0].position,
+        )
+    chunks: List[Tuple[str, str, int]] = []
+    for which, index in enumerate(starts):
+        end = tokens[starts[which + 1]].position if which + 1 < len(starts) else len(text)
+        token = tokens[index]
+        if token.value in ("data", "measure"):
+            kind = token.value
+        elif tokens[index + 1].value == "::":
+            kind = "sig"
+        else:
+            kind = "def"
+        chunks.append((kind, text[token.position : end], token.position))
+    return chunks
+
+
+def parse_program(text: str) -> Program:
+    """Parse a ``.sq``-style program file.
+
+    The file interleaves, in any order, ``data`` / ``measure`` declarations
+    (resolved mutually as in :func:`parse_declarations`), component
+    signatures ``name :: type``, checked definitions ``name = term``, and
+    synthesis goals ``name = ??``.  Every definition and goal must have a
+    signature; ``--`` starts a line comment.
+    """
+    chunks = _split_program(text)
+
+    signatures: Dict[str, Tuple[Tuple[Sort, ...], Sort]] = {}
+    for kind, chunk, position in chunks:
+        if kind == "measure":
+            name, header = _Parser(chunk, {}, None).measure_header()
+            if name in signatures:
+                raise ParseError(f"duplicate measure `{name}`", text, position)
+            signatures[name] = header.signature()
+
+    datatypes: Dict[str, Datatype] = {}
+    for kind, chunk, position in chunks:
+        if kind == "data":
+            parser = _Parser(chunk, {}, signatures)
+            datatype = parser.datatype_decl()
+            _expect_eof(parser)
+            if datatype.name in datatypes:
+                raise ParseError(f"duplicate datatype `{datatype.name}`", text, position)
+            datatypes[datatype.name] = datatype
+
+    measures: Dict[str, MeasureDef] = {}
+    for kind, chunk, position in chunks:
+        if kind == "measure":
+            parser = _Parser(chunk, {}, signatures)
+            measure = parser.measure_decl(datatypes)
+            _expect_eof(parser)
+            measures[measure.name] = measure
+
+    component_types: Dict[str, RType] = {}
+    definitions: Dict[str, Term] = {}
+    goals: List[str] = []
+    defined_at: Dict[str, int] = {}
+    for kind, chunk, position in chunks:
+        if kind == "sig":
+            parser = _Parser(chunk, {}, signatures)
+            name = parser.ident("a component name")
+            parser.expect("::")
+            rtype = parser.type_()
+            _expect_eof(parser)
+            if name in component_types:
+                raise ParseError(f"duplicate signature for `{name}`", text, position)
+            component_types[name] = rtype
+        elif kind == "def":
+            parser = _Parser(chunk, {}, signatures)
+            name = parser.ident("a definition name")
+            parser.expect("=")
+            if parser.accept("??"):
+                _expect_eof(parser)
+                if name in definitions or name in goals:
+                    raise ParseError(f"duplicate definition of `{name}`", text, position)
+                goals.append(name)
+            else:
+                term = parser.term()
+                _expect_eof(parser)
+                if name in definitions or name in goals:
+                    raise ParseError(f"duplicate definition of `{name}`", text, position)
+                definitions[name] = term
+            defined_at[name] = position
+    for name in list(definitions) + goals:
+        if name not in component_types:
+            raise ParseError(
+                f"`{name}` is defined but has no `{name} :: type` signature",
+                text,
+                defined_at[name],
+            )
+    return Program(datatypes, measures, component_types, definitions, tuple(goals))
 
 
 def _expect_eof(parser: _Parser) -> None:

@@ -21,7 +21,7 @@ lexicographic termination metric (see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Set, Tuple
 
 from .types import RType
 
@@ -194,6 +194,36 @@ def match_(scrutinee: Term, *cases: MatchCase) -> MatchTerm:
 def fix_(name: str, body: Term) -> FixTerm:
     """A recursive definition ``fix name . body``."""
     return FixTerm(name, body)
+
+
+def term_free_names(term: Term) -> Set[str]:
+    """The program variables occurring free in a term."""
+    if isinstance(term, VarTerm):
+        return {term.name}
+    if isinstance(term, (IntConst, BoolConst)):
+        return set()
+    if isinstance(term, AppTerm):
+        return term_free_names(term.fun) | term_free_names(term.arg)
+    if isinstance(term, LambdaTerm):
+        return term_free_names(term.body) - {term.arg_name}
+    if isinstance(term, IfTerm):
+        return term_free_names(term.cond) | term_free_names(term.then_) | term_free_names(
+            term.else_
+        )
+    if isinstance(term, LetTerm):
+        return term_free_names(term.value) | (term_free_names(term.body) - {term.name})
+    if isinstance(term, MatchCase):
+        return term_free_names(term.body) - set(term.binders)
+    if isinstance(term, MatchTerm):
+        result = term_free_names(term.scrutinee)
+        for case in term.cases:
+            result |= term_free_names(case)
+        return result
+    if isinstance(term, FixTerm):
+        return term_free_names(term.body) - {term.name}
+    if isinstance(term, Annot):
+        return term_free_names(term.term)
+    raise TypeError(f"unknown term node: {term!r}")
 
 
 # ---------------------------------------------------------------------------

@@ -415,6 +415,39 @@ def monomorphic(body: RType) -> TypeSchema:
     return TypeSchema((), (), body)
 
 
+def free_type_variables(rtype: RType) -> Set[str]:
+    """Names of the type variables occurring free in ``rtype``."""
+    if isinstance(rtype, ScalarType):
+        base = rtype.base
+        if isinstance(base, TypeVarBase):
+            return {base.name}
+        if isinstance(base, DataBase):
+            result: Set[str] = set()
+            for arg in base.args:
+                result |= free_type_variables(arg)
+            return result
+        return set()
+    if isinstance(rtype, FunctionType):
+        return free_type_variables(rtype.arg_type) | free_type_variables(rtype.result_type)
+    if isinstance(rtype, ContextualType):
+        result = free_type_variables(rtype.body)
+        for _, bound in rtype.bindings:
+            result |= free_type_variables(bound)
+        return result
+    raise TypeError(f"unknown type node: {rtype!r}")
+
+
+def generalize(rtype: RType) -> TypeSchema:
+    """Quantify every free type variable of ``rtype`` into a schema.
+
+    This is how a surface signature such as ``id :: x:a -> {a | nu == x}``
+    becomes a polymorphic component: its free type variables are implicitly
+    universally quantified, so each use site instantiates them afresh
+    (via :func:`~repro.typecheck.checker._instantiate_at_application`).
+    """
+    return TypeSchema(tuple(sorted(free_type_variables(rtype))), (), rtype)
+
+
 def instantiate_schema(
     schema: TypeSchema,
     type_args: Optional[Mapping[str, RType]] = None,

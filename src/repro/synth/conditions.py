@@ -1,0 +1,142 @@
+"""Condition abduction for branching programs (Sec. 5.2 of the paper).
+
+When no single E-term satisfies a goal everywhere, the synthesizer splits
+the input space with a conditional.  Rather than enumerating guard and
+branches together, the paper *abduces* the guard from a branch candidate:
+the candidate is checked under a fresh predicate unknown ``C`` assumed as
+a path condition (``Γ; C ⊢ e :: T``), and the Horn system is then solved
+for the **weakest** valuation of ``C`` — the weakest formula in the
+qualifier space under which the branch checks.  ``C``'s space is
+instantiated from the variables in scope exactly like a liquid refinement
+(:meth:`~repro.typecheck.session.TypecheckSession.fresh_unknown`, no value
+variable), so abduction reuses the same unknowns, spaces, and incremental
+backend as ordinary liquid inference.
+
+Because ``C`` occurs only in premises (a *negative* position), the
+greatest-fixpoint solver cannot weaken it — and a greedy subset
+minimization of the strongest valuation is order-fragile (it can return a
+minimal-but-strong conjunction such as ``x == 0 && y == 0`` where
+``y <= x`` suffices).  Weakest-first search does the right thing: try
+conjunctions of the space smallest-first (the empty conjunction is
+``True``; then single qualifiers; then pairs, up to ``max_conjuncts``),
+accepting the first one that validates every constraint *and* is
+consistent with the environment.  Smaller conjunctions are logically
+weaker, so the first hit is the weakest abducible condition up to the
+space's granularity.  Inconsistent conditions are rejected because they
+validate the branch vacuously and no executable guard can establish them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..horn.constraints import HornConstraint
+from ..horn.solver import HornSolver
+from ..horn.spaces import QualifierSpace
+from ..logic import ops
+from ..logic.formulas import Formula, Unknown
+from ..logic.substitution import substitute
+from ..logic.transform import transform
+from ..syntax.terms import Term
+from ..syntax.types import RType
+from ..typecheck.environment import Environment
+from ..typecheck.errors import TypecheckError
+from ..typecheck.session import TypecheckSession
+
+
+@dataclass(frozen=True)
+class AbducedCondition:
+    """The weakest path condition under which a branch candidate checks.
+
+    ``qualifiers`` is the abduced conjunction, smallest-first search order;
+    an empty tuple means the candidate checks unconditionally.
+    """
+
+    qualifiers: Tuple[Formula, ...]
+
+    @property
+    def formula(self) -> Formula:
+        return ops.conj(self.qualifiers)
+
+    def is_trivial(self) -> bool:
+        """Does the candidate check under no assumption at all?"""
+        return not self.qualifiers
+
+
+def abduce_condition(
+    session: TypecheckSession,
+    env: Environment,
+    candidate: Term,
+    goal: RType,
+    where: str = "abduce",
+    max_conjuncts: int = 2,
+) -> Optional[AbducedCondition]:
+    """The weakest qualifier-space condition validating ``candidate``
+    against ``goal``, or ``None`` when no consistent condition of at most
+    ``max_conjuncts`` qualifiers does.
+
+    The candidate's constraints are collected in a trial scope (no
+    residue); the weakest-first search then re-solves the system once per
+    tentative condition, every query running on the session's shared
+    incremental backend.
+    """
+    with session.trial():
+        unknown = session.fresh_unknown(env, None, kind="C")
+        space = session.spaces[unknown.name].qualifiers
+        try:
+            session.check(env.assume(unknown), candidate, goal, where)
+        except TypecheckError:
+            return None
+        constraints = list(session.constraints)
+        other_spaces: Dict[str, QualifierSpace] = {
+            name: qspace
+            for name, qspace in session.spaces.items()
+            if name != unknown.name
+        }
+
+    solver = HornSolver(session.backend)
+    context = env.embedding()
+    for size in range(0, max_conjuncts + 1):
+        for subset in combinations(space, size):
+            if subset and not _consistent(session, context, subset):
+                continue
+            grounded = [_assume_condition(constr, unknown.name, subset) for constr in constraints]
+            if solver.solve(grounded, other_spaces).solved:
+                return AbducedCondition(subset)
+    return None
+
+
+def _assume_condition(
+    constraint: HornConstraint, unknown: str, subset: Tuple[Formula, ...]
+) -> HornConstraint:
+    """``constraint`` with the abduction unknown replaced by the tentative
+    condition (other unknowns untouched)."""
+    condition = ops.conj(subset)
+
+    def ground(formula: Formula) -> Formula:
+        def replace(node: Formula) -> Formula:
+            if isinstance(node, Unknown) and node.name == unknown:
+                body = condition
+                if node.substitution:
+                    body = substitute(body, dict(node.substitution))
+                return body
+            return node
+
+        return transform(formula, replace)
+
+    return HornConstraint(
+        tuple(ground(premise) for premise in constraint.premises),
+        constraint.conclusion,
+        label=constraint.label,
+        provenance=constraint.provenance,
+    )
+
+
+def _consistent(
+    session: TypecheckSession, context: List[Formula], subset: Sequence[Formula]
+) -> bool:
+    """Is the tentative condition satisfiable together with the context?"""
+    premises = list(context) + list(subset)
+    return not session.backend.is_valid_implication(premises, ops.bool_lit(False))

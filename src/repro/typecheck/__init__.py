@@ -8,7 +8,14 @@ system and solves it with :class:`repro.horn.HornSolver` over one shared
 incremental SMT backend.
 """
 
-from .checker import check, infer, subtype, well_formed
+from .checker import (
+    check,
+    elaborate_match_case,
+    infer,
+    recursion_signature,
+    subtype,
+    well_formed,
+)
 from .environment import EMPTY, Environment
 from .errors import (
     MatchError,
@@ -36,7 +43,9 @@ __all__ = [
     "UnsupportedTermError",
     "WellFormednessError",
     "check",
+    "elaborate_match_case",
     "infer",
+    "recursion_signature",
     "subtype",
     "well_formed",
 ]

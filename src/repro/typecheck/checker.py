@@ -1,4 +1,16 @@
-"""The bidirectional refinement type checker (Sec. 3 of the paper).
+"""The bidirectional refinement type checker.
+
+Implements the type system of Polikarpova, Kuraj & Solar-Lezama,
+*Program Synthesis from Polymorphic Refinement Types* (PLDI 2016):
+the round-trip-friendly bidirectional judgments of Sec. 3 (inference for
+E-terms, checking for I-terms), selfification and contextual types of
+Secs. 3.2–3.3, the liquid abstraction of Sec. 3.6 (via
+:class:`~repro.typecheck.session.TypecheckSession`), match elaboration
+with constructor selfification and measure unfolding (Sec. 3.2),
+terminating ``fix`` (Sec. 3), and the application-site type-variable
+unification that keeps polymorphic components first-order-instantiable.
+The synthesizer (:mod:`repro.synth`, Sec. 4) re-enters this module
+through :func:`elaborate_match_case` and :func:`recursion_signature`.
 
 Typing is split into two mutually recursive judgments:
 
@@ -190,9 +202,13 @@ def _infer_var(
 
 
 def _infer_app(
-    session: "TypecheckSession", env: Environment, term: AppTerm, where: Provenance
+    session: "TypecheckSession",
+    env: Environment,
+    term: AppTerm,
+    where: Provenance,
+    trailing: Tuple[Term, ...] = (),
 ) -> RType:
-    fun_type = _infer_fun_type(session, env, term, where)
+    fun_type = _infer_fun_type(session, env, term, where, trailing)
     context: Tuple[Tuple[str, RType], ...] = ()
     if isinstance(fun_type, ContextualType):
         context = fun_type.bindings
@@ -250,14 +266,27 @@ def _infer_app(
 
 
 def _infer_fun_type(
-    session: "TypecheckSession", env: Environment, term: AppTerm, where: Provenance
+    session: "TypecheckSession",
+    env: Environment,
+    term: AppTerm,
+    where: Provenance,
+    trailing: Tuple[Term, ...],
 ) -> RType:
     """The applied function's type — with type variables unified against the
-    argument when the function is a polymorphic component."""
+    arguments when the function is a polymorphic component.
+
+    ``trailing`` carries the arguments of the *enclosing* applications of a
+    curried spine, so the innermost application (where the polymorphic head
+    sits) sees every argument: ``Cons (dec n) xs`` instantiates the element
+    variable from ``xs`` even though the first argument's shape is unknown.
+    """
+    spine_args = (term.arg,) + trailing
     if isinstance(term.fun, VarTerm):
         bound = env.lookup(term.fun.name)
         if isinstance(bound, TypeSchema) and bound.type_vars:
-            return _instantiate_at_application(session, env, bound, term.arg)
+            return _instantiate_at_application(session, env, bound, spine_args)
+    if isinstance(term.fun, AppTerm):
+        return _infer_app(session, env, term.fun, where + ("function",), spine_args)
     return infer(session, env, term.fun, where + ("function",))
 
 
@@ -265,21 +294,25 @@ def _instantiate_at_application(
     session: "TypecheckSession",
     env: Environment,
     schema: TypeSchema,
-    arg: Term,
+    args: Tuple[Term, ...],
 ) -> RType:
     """Instantiate a polymorphic schema at an application site by unifying
-    its first parameter's shape against the argument's (Sec. 3.3: type
-    variables are resolved structurally; refinements are erased so the
-    instantiation never narrows the component's domain).  Variables the
-    argument does not determine stay free — a later application or the
+    each curried parameter's shape against the corresponding argument's
+    (Sec. 3.3: type variables are resolved structurally; refinements are
+    erased so the instantiation never narrows the component's domain).
+    Variables no argument determines stay free — a later application or the
     permissive sort compatibility of subtyping resolves them.
     """
     type_args: dict = {}
-    body = schema.body
-    if isinstance(body, FunctionType):
+    type_vars = frozenset(schema.type_vars)
+    node = schema.body
+    for arg in args:
+        if not isinstance(node, FunctionType):
+            break
         arg_shape = _term_shape(env, arg)
         if arg_shape is not None:
-            _unify_shape(body.arg_type, arg_shape, frozenset(schema.type_vars), type_args)
+            _unify_shape(node.arg_type, arg_shape, type_vars, type_args)
+        node = node.result_type
     return session.instantiate(schema, env, type_args=type_args)
 
 
@@ -297,6 +330,21 @@ def _term_shape(env: Environment, term: Term) -> Optional[RType]:
         return ScalarType(BOOL_BASE)
     if isinstance(term, Annot):
         return shape(term.rtype)
+    if isinstance(term, AppTerm):
+        # The result shape of an application: peel one arrow off the head's
+        # shape per argument.  Polymorphic heads yield None (their result
+        # shape depends on the instantiation being computed).
+        head: Term = term
+        arity = 0
+        while isinstance(head, AppTerm):
+            head = head.fun
+            arity += 1
+        node = _term_shape(env, head)
+        for _ in range(arity):
+            if not isinstance(node, FunctionType):
+                return None
+            node = node.result_type
+        return node
     return None
 
 
@@ -500,37 +548,48 @@ def _check_match(
         )
 
 
-def _check_match_case(
+def elaborate_match_case(
     session: "TypecheckSession",
     env: Environment,
-    case: MatchCase,
+    constructor: str,
+    binders: Tuple[str, ...],
     datatype: "Datatype",
     type_args: dict,
     subject: Formula,
     goal: RType,
     where: Provenance,
-) -> None:
-    ctor = datatype.find(case.constructor)
+) -> Tuple[Environment, RType]:
+    """The typing context of one match alternative ``constructor binders ->``.
+
+    Returns the environment the case body is checked in — the constructor's
+    arguments bound at their instantiated signature types, under the
+    *constructor selfification* assumption (the result refinement holding of
+    the scrutinee ``subject``) conjoined with the catamorphism unfolding of
+    every measure on the datatype — together with the goal type, alpha-
+    renamed where a case binder shadowed a variable it mentions.  Shared by
+    the checker (:func:`_check_match_case`) and by the synthesizer's match
+    generator, which synthesizes the case body against the returned subgoal.
+    """
+    ctor = datatype.find(constructor)
     if ctor is None:
         raise MatchError(
-            f"`{case.constructor}` is not a constructor of `{datatype.name}` "
+            f"`{constructor}` is not a constructor of `{datatype.name}` "
             f"(has: {', '.join(datatype.constructor_names())}), "
             f"at {_pretty_where(where)}"
         )
-    if len(set(case.binders)) != len(case.binders):
+    if len(set(binders)) != len(binders):
         raise MatchError(
-            f"case `{case.constructor}` binds a name twice, at {_pretty_where(where)}",
+            f"case `{constructor}` binds a name twice, at {_pretty_where(where)}",
         )
-    where_case = where + (f"case {case.constructor}",)
     node: RType = session.instantiate(ctor.schema, env, type_args=type_args)
     mapping: dict = {}  # signature binder name -> case binder variable
     binder_args: list = []  # per-position formulas for measure unfolding
     case_env = env
-    for binder in case.binders:
+    for binder in binders:
         if not isinstance(node, FunctionType):
             raise MatchError(
-                f"constructor `{case.constructor}` takes {ctor.arity()} "
-                f"arguments, the case binds {len(case.binders)}, "
+                f"constructor `{constructor}` takes {ctor.arity()} "
+                f"arguments, the case binds {len(binders)}, "
                 f"at {_pretty_where(where)}"
             )
         # A case binder reusing an in-scope name (often the scrutinee
@@ -556,8 +615,8 @@ def _check_match_case(
         node = node.result_type
     if isinstance(node, FunctionType):
         raise MatchError(
-            f"constructor `{case.constructor}` takes {ctor.arity()} arguments, "
-            f"the case binds {len(case.binders)}, at {_pretty_where(where)}"
+            f"constructor `{constructor}` takes {ctor.arity()} arguments, "
+            f"the case binds {len(binders)}, at {_pretty_where(where)}"
         )
     # Constructor selfification: the constructor's result refinement holds
     # of the scrutinee in this branch ...
@@ -566,8 +625,24 @@ def _check_match_case(
     assumption = instantiate_value_var(result.refinement, subject)
     # ... plus the catamorphism unfolding of every measure on the datatype.
     for mdef in session.measures_for(datatype.name):
-        assumption = ops.and_(assumption, mdef.unfold(subject, case.constructor, binder_args))
-    check(session, case_env.assume(simplify(assumption)), case.body, goal, where_case)
+        assumption = ops.and_(assumption, mdef.unfold(subject, constructor, binder_args))
+    return case_env.assume(simplify(assumption)), goal
+
+
+def _check_match_case(
+    session: "TypecheckSession",
+    env: Environment,
+    case: MatchCase,
+    datatype: "Datatype",
+    type_args: dict,
+    subject: Formula,
+    goal: RType,
+    where: Provenance,
+) -> None:
+    case_env, case_goal = elaborate_match_case(
+        session, env, case.constructor, case.binders, datatype, type_args, subject, goal, where
+    )
+    check(session, case_env, case.body, case_goal, where + (f"case {case.constructor}",))
 
 
 # ---------------------------------------------------------------------------
@@ -728,6 +803,26 @@ def _termination_strengthened(
     for name, arg_type in reversed(strengthened):
         rec_type = FunctionType(name, arg_type, rec_type)
     return rec_type
+
+
+def recursion_signature(
+    session: "TypecheckSession",
+    spine: "list",
+    result: RType,
+    where: Provenance = (),
+) -> RType:
+    """The termination-strengthened signature a recursive occurrence is
+    bound at, for an enclosing definition with argument ``spine`` (pairs of
+    binder name and argument type) and result type ``result``.
+
+    This is the same signature :func:`_check_fix` builds for ``fix`` bodies,
+    exposed so the synthesizer can bind a goal's own name before enumerating
+    recursive calls (Sec. 4: recursion is only ever attempted at the
+    strengthened type, so non-terminating candidates are pruned like any
+    other ill-typed term).  Raises :class:`TerminationError` when no
+    argument carries a well-founded metric.
+    """
+    return _termination_strengthened(session, spine, result, where)
 
 
 # ---------------------------------------------------------------------------

@@ -125,6 +125,11 @@ class Environment:
             if isinstance(rtype, ScalarType):
                 yield name, rtype
 
+    def effective_bindings(self) -> Iterator[Tuple[str, Binding]]:
+        """Every binding with shadowing resolved — the component pool the
+        synthesis enumerator draws atoms and application heads from."""
+        yield from self._effective()
+
     # -- projections into the refinement logic -------------------------------
 
     def sort_scope(self) -> Dict[str, Sort]:

@@ -22,8 +22,9 @@ on failure it names the subtyping obligation whose constraint was refuted
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..horn.constraints import HornConstraint
 from ..horn.solver import Assignment, HornSolver
@@ -43,7 +44,7 @@ from ..syntax.terms import Term
 from ..syntax.types import BaseType, RType, ScalarType, TypeSchema, base_sort
 from . import checker
 from .environment import EMPTY, Environment
-from .errors import SubtypingError, WellFormednessError
+from .errors import SubtypingError, TypecheckError, WellFormednessError
 
 
 @dataclass
@@ -193,15 +194,22 @@ class TypecheckSession:
         type_args: Optional[Mapping[str, RType]] = None,
     ) -> RType:
         """Strip a schema's quantifiers: type variables become the provided
-        types (or stay free), predicate variables become fresh unknowns with
-        spaces built from ``env``."""
-        from ..syntax.types import instantiate_schema
+        types (unresolved ones are *freshened* — each use site gets its own
+        variables, so two instantiations never alias and a quantified name
+        can never capture an identically-named variable free in the goal),
+        predicate variables become fresh unknowns with spaces built from
+        ``env``."""
+        from ..syntax.types import instantiate_schema, type_var
 
         pred_mapping: Dict[str, str] = {}
         for sig in schema.pred_vars:
             value_sort = sig.arg_sorts[-1] if sig.arg_sorts else None
             pred_mapping[sig.name] = self.fresh_unknown(env, value_sort, kind="P").name
-        return instantiate_schema(schema, type_args, pred_mapping)
+        full_args: Dict[str, RType] = dict(type_args or {})
+        for var in schema.type_vars:
+            if var not in full_args:
+                full_args[var] = type_var(self.fresh_name("tv"))
+        return instantiate_schema(schema, full_args, pred_mapping)
 
     # -- constraint accumulation ---------------------------------------------
 
@@ -263,6 +271,67 @@ class TypecheckSession:
         """Well-formedness then checking — the common top-level sequence."""
         self.well_formed(env, goal)
         self.check(env, term, goal, where)
+
+    # -- partial checking (round-trip synthesis, Sec. 4) ---------------------
+
+    @contextmanager
+    def trial(self) -> Iterator["TypecheckSession"]:
+        """A scope whose constraints and qualifier spaces are rolled back.
+
+        The synthesizer's round-trip loop checks thousands of candidate
+        terms against one session; each candidate's obligations must leave
+        no residue once the candidate is discarded, while the shared
+        incremental backend keeps every clause and theory lemma it learned
+        (that reuse is what makes early pruning cheap).  Fresh-name counters
+        are deliberately *not* rolled back — names stay unique across
+        trials.
+        """
+        constraints_mark = len(self.constraints)
+        space_names = set(self.spaces)
+        try:
+            yield self
+        finally:
+            del self.constraints[constraints_mark:]
+            for name in [n for n in self.spaces if n not in space_names]:
+                del self.spaces[name]
+
+    def try_check(
+        self,
+        env: Environment,
+        term: Term,
+        goal: RType,
+        where: str = "",
+        minimize: bool = False,
+    ) -> TypecheckResult:
+        """Check ``term`` against ``goal`` in a :meth:`trial` scope and solve.
+
+        Structural rejections (shape, match, termination errors) are
+        reported as an unsolved result instead of raised — a candidate the
+        enumerator proposes is never a hard error, just not a program.
+        """
+        with self.trial():
+            try:
+                self.check(env, term, goal, where)
+            except TypecheckError:
+                return TypecheckResult(solved=False)
+            return self.solve(minimize=minimize)
+
+    def try_infer(self, env: Environment, term: Term, where: str = "") -> Optional[RType]:
+        """Infer ``term``'s type in a :meth:`trial` scope, solving the local
+        obligations it emits (argument subtyping, instantiation).
+
+        Returns ``None`` when the term is ill-typed — structurally, or
+        because no valuation of the unknowns validates its obligations.
+        This is the early local liquid check of Sec. 4: an application
+        prefix rejected here cannot be repaired by any extension, so the
+        enumerator prunes its whole subtree.
+        """
+        with self.trial():
+            try:
+                rtype = self.infer(env, term, where)
+            except TypecheckError:
+                return None
+            return rtype if self.solve().solved else None
 
     # -- solving -------------------------------------------------------------
 

@@ -384,6 +384,58 @@ class TestDeclarationsDriveTheChecker:
         assert declarations.measures["len"] == len_measure()
 
 
+class TestApplicationUnification:
+    """Type-variable unification threads through *later* curried arguments
+    (ROADMAP gap closed for the synthesis enumerator): `Cons (dec n) xs`
+    must instantiate the element variable from `xs` even though the first
+    argument's shape is unknown at the application site."""
+
+    @staticmethod
+    def scalar_of(rtype):
+        from repro.syntax.types import ContextualType
+
+        while isinstance(rtype, ContextualType):
+            rtype = rtype.body
+        return rtype
+
+    def test_later_argument_drives_instantiation(self):
+        session, env = list_session()
+        env = env.bind("n", int_type()).bind("xs", parse_type("List Int"))
+        inferred = self.scalar_of(session.infer(env, parse_term("Cons (dec n) xs"), where="unify"))
+        [elem] = inferred.base.args
+        assert elem.base == INT_BASE
+        assert session.solve().solved
+
+    def test_first_argument_still_wins_when_known(self):
+        session, env = list_session()
+        env = env.bind("xs", parse_type("List Int"))
+        inferred = self.scalar_of(session.infer(env, parse_term("Cons 3 xs"), where="unify"))
+        [elem] = inferred.base.args
+        assert elem.base == INT_BASE
+
+    def test_binary_polymorphic_component(self):
+        """A component whose second type variable only the second argument
+        determines: `second n True` must elaborate at b := Bool."""
+        from repro.syntax import generalize
+
+        session, env = list_session()
+        env = env.bind("second", generalize(parse_type("x:a -> y:b -> {b | nu == y}")))
+        env = env.bind("n", int_type())
+        inferred = self.scalar_of(session.infer(env, parse_term("second n True"), where="second"))
+        from repro.syntax.types import BOOL_BASE
+
+        assert inferred.base == BOOL_BASE
+        assert session.solve().solved
+
+    def test_monomorphic_checking_through_unified_constructor(self):
+        _, outcome = check_workload(
+            "\\n . \\xs . Cons (dec n) xs",
+            "n:Int -> xs:List Int -> {List Int | len(nu) == 1 + len(xs)}",
+            "cons-unified",
+        )
+        assert outcome.solved
+
+
 class TestMeasureDefs:
     def test_unfold_per_constructor(self):
         length = len_measure()
