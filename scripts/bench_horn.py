@@ -15,15 +15,14 @@ when the timing trend moves.
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
-import statistics
 import sys
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import benchlib  # noqa: E402
 
 from repro.horn import HornSolver, build_space, constraint  # noqa: E402
 from repro.logic import ops  # noqa: E402
@@ -127,41 +126,7 @@ BENCHMARKS = {
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default="BENCH_horn.json", help="report path")
-    parser.add_argument("--repeat", type=int, default=5, help="runs per benchmark")
-    args = parser.parse_args()
-
-    report = {
-        "suite": "horn-perf-smoke",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "repeat": args.repeat,
-        "benchmarks": [],
-    }
-    for name, runner in BENCHMARKS.items():
-        timings = []
-        counters = {}
-        for _ in range(args.repeat):
-            elapsed, counters = runner()
-            timings.append(elapsed)
-        entry = {
-            "name": name,
-            "mean_s": statistics.mean(timings),
-            "min_s": min(timings),
-            "max_s": max(timings),
-            "counters": counters,
-        }
-        report["benchmarks"].append(entry)
-        print(
-            f"{name:16s} mean={entry['mean_s'] * 1000:7.2f}ms "
-            f"min={entry['min_s'] * 1000:7.2f}ms "
-            f"counters={counters}"
-        )
-
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.output}")
-    return 0
+    return benchlib.run_suite("horn-perf-smoke", BENCHMARKS, "BENCH_horn.json", 5, __doc__)
 
 
 if __name__ == "__main__":

@@ -16,16 +16,15 @@ machine; CI compares the timings against the committed baseline with
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
-import statistics
 import sys
 import time
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import benchlib  # noqa: E402
 
 from repro.syntax import parse_program  # noqa: E402
 from repro.synth import SynthesisGoal, Synthesizer  # noqa: E402
@@ -52,43 +51,19 @@ def run_workload(source: str, goal_name: str, depth: int):
     return elapsed, counters
 
 
+def _runner(filename: str, goal_name: str, depth: int):
+    source = (ROOT / "examples" / filename).read_text()
+    return lambda: run_workload(source, goal_name, depth)
+
+
+BENCHMARKS = {
+    name: _runner(filename, goal_name, depth)
+    for name, filename, goal_name, depth in WORKLOADS
+}
+
+
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default="BENCH_synth.json", help="report path")
-    parser.add_argument("--repeat", type=int, default=3, help="runs per benchmark")
-    args = parser.parse_args()
-
-    report = {
-        "suite": "synth-perf-smoke",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "repeat": args.repeat,
-        "benchmarks": [],
-    }
-    for name, filename, goal_name, depth in WORKLOADS:
-        source = (ROOT / "examples" / filename).read_text()
-        timings = []
-        counters = {}
-        for _ in range(args.repeat):
-            elapsed, counters = run_workload(source, goal_name, depth)
-            timings.append(elapsed)
-        entry = {
-            "name": name,
-            "mean_s": statistics.mean(timings),
-            "min_s": min(timings),
-            "max_s": max(timings),
-            "counters": counters,
-        }
-        report["benchmarks"].append(entry)
-        print(
-            f"{name:20s} mean={entry['mean_s'] * 1000:7.2f}ms "
-            f"min={entry['min_s'] * 1000:7.2f}ms "
-            f"counters={counters}"
-        )
-
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.output}")
-    return 0
+    return benchlib.run_suite("synth-perf-smoke", BENCHMARKS, "BENCH_synth.json", 3, __doc__)
 
 
 if __name__ == "__main__":

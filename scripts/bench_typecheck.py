@@ -16,15 +16,14 @@ machine; CI compares the timings against the committed baseline with
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
-import statistics
 import sys
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import benchlib  # noqa: E402
 
 from repro.syntax import len_measure, list_datatype, parse_term, parse_type  # noqa: E402
 from repro.typecheck import EMPTY, TypecheckSession  # noqa: E402
@@ -84,42 +83,15 @@ def run_workload(term_src: str, sig_src: str, expect_solved: bool):
     }
 
 
+BENCHMARKS = {
+    name: (lambda spec=spec: run_workload(*spec)) for name, spec in WORKLOADS.items()
+}
+
+
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default="BENCH_typecheck.json", help="report path")
-    parser.add_argument("--repeat", type=int, default=5, help="runs per benchmark")
-    args = parser.parse_args()
-
-    report = {
-        "suite": "typecheck-perf-smoke",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "repeat": args.repeat,
-        "benchmarks": [],
-    }
-    for name, (term_src, sig_src, expect_solved) in WORKLOADS.items():
-        timings = []
-        counters = {}
-        for _ in range(args.repeat):
-            elapsed, counters = run_workload(term_src, sig_src, expect_solved)
-            timings.append(elapsed)
-        entry = {
-            "name": name,
-            "mean_s": statistics.mean(timings),
-            "min_s": min(timings),
-            "max_s": max(timings),
-            "counters": counters,
-        }
-        report["benchmarks"].append(entry)
-        print(
-            f"{name:26s} mean={entry['mean_s'] * 1000:7.2f}ms "
-            f"min={entry['min_s'] * 1000:7.2f}ms "
-            f"counters={counters}"
-        )
-
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.output}")
-    return 0
+    return benchlib.run_suite(
+        "typecheck-perf-smoke", BENCHMARKS, "BENCH_typecheck.json", 5, __doc__
+    )
 
 
 if __name__ == "__main__":

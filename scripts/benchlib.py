@@ -1,0 +1,70 @@
+"""Shared harness for the perf smoke benchmark scripts.
+
+Each ``bench_*.py`` script defines its workloads as a mapping from
+benchmark name to a zero-argument callable returning ``(elapsed_seconds,
+counters_dict)`` and delegates the repeat/timing/JSON-report boilerplate
+to :func:`run_suite`.  The report format is what
+``scripts/check_bench_regression.py`` and the CI artifact trail consume:
+per-case mean/min/max wall-clock plus the deterministic counters that
+make a timing regression triageable on any machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+from pathlib import Path
+from typing import Callable, Dict, Mapping, Tuple
+
+#: A workload: runs once, returns (elapsed seconds, counters).
+Runner = Callable[[], Tuple[float, Dict[str, int]]]
+
+
+def run_suite(
+    suite: str,
+    benchmarks: Mapping[str, Runner],
+    default_output: str,
+    default_repeat: int = 5,
+    description: str = None,
+) -> int:
+    """Time every workload ``--repeat`` times and write the JSON report."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--output", default=default_output, help="report path")
+    parser.add_argument(
+        "--repeat", type=int, default=default_repeat, help="runs per benchmark"
+    )
+    args = parser.parse_args()
+
+    report = {
+        "suite": suite,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repeat": args.repeat,
+        "benchmarks": [],
+    }
+    width = max(len(name) for name in benchmarks)
+    for name, runner in benchmarks.items():
+        timings = []
+        counters: Dict[str, int] = {}
+        for _ in range(args.repeat):
+            elapsed, counters = runner()
+            timings.append(elapsed)
+        entry = {
+            "name": name,
+            "mean_s": statistics.mean(timings),
+            "min_s": min(timings),
+            "max_s": max(timings),
+            "counters": counters,
+        }
+        report["benchmarks"].append(entry)
+        print(
+            f"{name:<{width}s} mean={entry['mean_s'] * 1000:7.2f}ms "
+            f"min={entry['min_s'] * 1000:7.2f}ms "
+            f"counters={counters}"
+        )
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0

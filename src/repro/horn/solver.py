@@ -63,6 +63,9 @@ class HornStatistics:
     fixpoint_rounds: int = 0
     weakenings: int = 0
     pruned_qualifiers: int = 0
+    #: Qualifiers pruned directly from a counterexample model, without a
+    #: per-qualifier validity probe of their own.
+    model_pruned_qualifiers: int = 0
 
 
 @dataclass
@@ -158,26 +161,43 @@ class HornSolver:
         pending = dict(target.substitution)
         goals = [substitute(q, pending) if pending else q for q in current]
 
-        # Fast path: is the whole current valuation already entailed?
-        self.statistics.validity_checks += 1
-        if self._backend.is_valid_implication(premises, ops.conj(goals)):
-            return False
-
-        # Core extraction: probe each conjunct.  Set-sensitive constraints
-        # go through is_valid_implication per qualifier (the backend conjoins
-        # them so set elimination sees one universe); everything else keeps
-        # the premises asserted (and encoded) once for the whole sweep.
-        kept: List[Formula] = []
+        # Set-sensitive constraints go through is_valid_implication per
+        # qualifier (the backend conjoins them so set elimination sees one
+        # universe); the batched counterexample path below cannot read set
+        # atoms back from a model.
         if any(mentions_sets(p) for p in premises) or any(mentions_sets(g) for g in goals):
+            self.statistics.validity_checks += 1
+            if self._backend.is_valid_implication(premises, ops.conj(goals)):
+                return False
+            kept: List[Formula] = []
             for qualifier, goal in zip(current, goals):
                 self.statistics.validity_checks += 1
                 if self._backend.is_valid_implication(premises, goal):
                     kept.append(qualifier)
         else:
+            # The premises are asserted (and encoded) once for the whole
+            # sweep.  The fast-path query doubles as a batched probe: when
+            # the full valuation is not entailed, the counterexample model
+            # is read back and every qualifier it falsifies is pruned in
+            # one pass; only qualifiers the model happens to satisfy fall
+            # back to a per-qualifier validity check.
+            kept = []
+            retry: List[Tuple[Formula, Formula]] = []
             with self._backend.scoped():
                 for premise in premises:
                     self._backend.assert_(premise)
-                for qualifier, goal in zip(current, goals):
+                with self._backend.scoped():
+                    self._backend.assert_(ops.not_(ops.conj(goals)))
+                    self.statistics.validity_checks += 1
+                    values = self._backend.check_evaluating(goals)
+                if values is None:
+                    return False  # the whole current valuation is entailed
+                for qualifier, goal, value in zip(current, goals, values):
+                    if value is False:
+                        self.statistics.model_pruned_qualifiers += 1
+                    else:
+                        retry.append((qualifier, goal))
+                for qualifier, goal in retry:
                     with self._backend.scoped():
                         self._backend.assert_(ops.not_(goal))
                         self.statistics.validity_checks += 1

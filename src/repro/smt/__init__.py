@@ -11,7 +11,7 @@ from .interface import (
 )
 from .lia import Constraint, LiaSolver, LinearExpr, Relation
 from .names import FreshNames
-from .sat import SatResult, SatSolver, solve_clauses
+from .sat import SatResult, SatSolver, SatStatistics, solve_clauses
 from .sets import eliminate_sets, mentions_sets
 from .solver import (
     DEFAULT_CACHE_SIZE,
@@ -34,6 +34,7 @@ __all__ = [
     "Relation",
     "SatResult",
     "SatSolver",
+    "SatStatistics",
     "SmtSolver",
     "SolverBackend",
     "SolverStatistics",

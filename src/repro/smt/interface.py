@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Sequence
 
 from ..logic import ops
 from ..logic.formulas import Formula
@@ -79,6 +79,23 @@ class SolverBackend(ABC):
             yield self
         finally:
             self.pop()
+
+    def check_evaluating(
+        self, probes: Sequence[Formula]
+    ) -> Optional[List[Optional[bool]]]:
+        """Check the live assertions; on SAT, report each probe formula's
+        truth value under the model found when the backend can read it back.
+
+        Returns ``None`` on UNSAT.  The default implementation answers the
+        satisfiability question but evaluates nothing (every probe entry is
+        ``None``) — backends with model access, like
+        :class:`repro.smt.solver.IncrementalSolver`, override it, which is
+        what lets the Horn solver prune whole qualifier batches from one
+        counterexample.
+        """
+        if not self.check():
+            return None
+        return [None for _ in probes]
 
     def check_assuming(self, formulas: Iterable[Formula]) -> bool:
         """Satisfiability of the live assertions plus the given formulas."""

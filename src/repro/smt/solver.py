@@ -1,21 +1,27 @@
-"""The lazy DPLL(T) satisfiability solver.
+"""The lazy CDCL(T) satisfiability solver.
 
-This is the replacement for Z3 used by the original Synquid: a propositional
-SAT core explores the boolean structure of the query, and every complete
-assignment is checked against the combined EUF + LIA theory solver.
-Conflicting assignments are generalized by deletion-based shrinking and
-blocked, until either a theory-consistent assignment is found (SAT) or the
-propositional abstraction is exhausted (UNSAT).
+This is the replacement for Z3 used by the original Synquid: a
+propositional CDCL core (:mod:`repro.smt.sat`) explores the boolean
+structure of the query, and every complete assignment is checked against
+the combined EUF + LIA theory solver.  Conflicting assignments are
+generalized by QuickXplain-style minimization and blocked, until either a
+theory-consistent assignment is found (SAT) or the propositional
+abstraction is exhausted (UNSAT).
 
 Two entry points share that loop:
 
 * :class:`IncrementalSolver` — the workhorse.  One persistent Tseitin
-  encoder, SAT solver and theory checker serve every query; each asserted
-  formula is guarded by an *assumption literal* (a selector), scopes are
-  just stacks of active selectors, and ``check`` solves under the active
-  selectors.  Re-asserting a formula (the Horn fixpoint loop does this
-  constantly) reuses its existing CNF, and theory lemmas learned in one
-  query prune all later ones.
+  encoder, **one persistent CDCL SAT solver**, and one theory checker
+  serve every query for the solver's whole lifetime; each asserted formula
+  is guarded by an *assumption literal* (a selector), its CNF is loaded
+  into the SAT core exactly once at selector-creation time, and ``check``
+  merely solves under the active selectors.  Clause relevance is free:
+  watched-literal propagation never touches clauses whose selectors are
+  inactive (their guards are satisfied by the solver's negative default
+  phase).  Re-asserting a formula (the Horn fixpoint loop does this
+  constantly) reuses its existing CNF, theory lemmas learned in one query
+  prune all later ones, and the learned-lemma database is garbage
+  collected by clause activity so it stays bounded.
 
 * :class:`SmtSolver` — the one-shot façade kept for back compatibility.
   It owns an :class:`IncrementalSolver`, wraps each query in a
@@ -35,7 +41,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..logic import ops
 from ..logic.formulas import (
@@ -73,6 +79,14 @@ class SolverStatistics:
     encoded_assertions: int = 0
     #: Assertions answered from the selector table without re-encoding.
     reused_assertions: int = 0
+    #: Theory checks spent minimizing conflicts (QuickXplain probes).
+    shrink_theory_checks: int = 0
+    # Mirrors of the persistent SAT core's lifetime counters.
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    gced_clauses: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -87,27 +101,32 @@ class TseitinEncoder:
     structural hashes), so encoding the same subformula twice costs a single
     dictionary probe instead of a CNF rebuild.
 
-    Clause *provenance* is tracked per encoded formula (the clauses it
-    emitted itself plus the formulas it delegated to), so a consumer can ask
-    for exactly the clauses a given root formula depends on
-    (:meth:`clause_closure`) instead of dragging the whole ever-growing
-    clause database into every SAT call.
+    Every emitted gate clause is a full equivalence (``output <-> gate``),
+    so under any complete assignment of the clause database the root
+    literal of an encoded formula evaluates exactly to the formula's truth
+    value — which is what lets consumers read counterexample models back
+    through :meth:`IncrementalSolver.check_evaluating`.
+
+    Atom *provenance* is tracked per encoded formula (the atoms it
+    references itself plus the formulas it delegated to), so a consumer can
+    ask for exactly the theory atoms a given root formula depends on
+    (:meth:`atom_closure`).
     """
 
     def __init__(self) -> None:
         self.clauses: List[List[int]] = []
         self._atom_vars: Dict[Formula, int] = {}
         self._var_atoms: Dict[int, Formula] = {}
+        #: append-only log of (atom, variable) in creation order, so
+        #: consumers can postprocess newly interned atoms (theory linking).
+        self.atom_log: List[Tuple[Formula, int]] = []
         self._roots: Dict[Formula, int] = {}
-        #: clause indices emitted directly while encoding a formula
-        self._formula_clauses: Dict[Formula, List[int]] = {}
         #: subformulas whose encodings a formula depends on
         self._formula_deps: Dict[Formula, List[Formula]] = {}
         #: atom variables referenced directly while encoding a formula
         self._formula_atoms: Dict[Formula, List[int]] = {}
-        self._clause_closures: Dict[Formula, frozenset] = {}
         self._atom_closures: Dict[Formula, frozenset] = {}
-        self._frames: List[Tuple[List[int], List[Formula], List[int]]] = []
+        self._frames: List[Tuple[List[Formula], List[int]]] = []
         self._next_var = 1
 
     def fresh_var(self) -> int:
@@ -123,51 +142,37 @@ class TseitinEncoder:
             variable = self.fresh_var()
             self._atom_vars[atom] = variable
             self._var_atoms[variable] = atom
+            self.atom_log.append((atom, variable))
         if self._frames:
-            self._frames[-1][2].append(variable)
+            self._frames[-1][1].append(variable)
         return variable
 
     def emit_clause(self, clause: List[int]) -> int:
         """Record a clause; returns its index in :attr:`clauses`."""
         index = len(self.clauses)
         self.clauses.append(clause)
-        if self._frames:
-            self._frames[-1][0].append(index)
         return index
 
     def encode(self, formula: Formula) -> int:
         """Encode a formula; returns the literal equivalent to the formula."""
         if self._frames:
-            self._frames[-1][1].append(formula)
+            self._frames[-1][0].append(formula)
         cached = self._roots.get(formula)
         if cached is not None:
             return cached
-        self._frames.append(([], [], []))
+        self._frames.append(([], []))
         try:
             literal = self._encode(formula)
         finally:
-            own, deps, atoms = self._frames.pop()
+            deps, atoms = self._frames.pop()
         self._roots[formula] = literal
-        self._formula_clauses[formula] = own
         self._formula_deps[formula] = deps
         self._formula_atoms[formula] = atoms
         return literal
 
-    def clause_closure(self, formula: Formula) -> frozenset:
-        """Indices of every clause the formula's encoding depends on."""
-        return self._closure(formula, self._clause_closures, self._formula_clauses)
-
     def atom_closure(self, formula: Formula) -> frozenset:
         """Variables of every theory atom the formula's encoding contains."""
-        return self._closure(formula, self._atom_closures, self._formula_atoms)
-
-    def _closure(
-        self,
-        formula: Formula,
-        cache: Dict[Formula, frozenset],
-        contributions: Dict[Formula, List[int]],
-    ) -> frozenset:
-        cached = cache.get(formula)
+        cached = self._atom_closures.get(formula)
         if cached is not None:
             return cached
         needed: set = set()
@@ -177,10 +182,10 @@ class TseitinEncoder:
             if current in seen:
                 continue
             seen.add(current)
-            needed.update(contributions.get(current, ()))
+            needed.update(self._formula_atoms.get(current, ()))
             stack.extend(self._formula_deps.get(current, ()))
         closure = frozenset(needed)
-        cache[formula] = closure
+        self._atom_closures[formula] = closure
         return closure
 
     def _encode(self, formula: Formula) -> int:
@@ -228,10 +233,9 @@ class TseitinEncoder:
 
         When ``restrict`` is given, only atoms whose variable belongs to it
         are reported — the incremental backend passes the variables of the
-        *active* assertions that the search actually assigned, keeping
-        don't-care atoms out of the theory checker.  The restricted path
-        walks ``restrict``, not the solver-lifetime atom table, so its cost
-        tracks the live scope.
+        *active* assertions, keeping don't-care atoms out of the theory
+        checker.  The restricted path walks ``restrict``, not the
+        solver-lifetime atom table, so its cost tracks the live scope.
         """
         literals: List[Literal] = []
         if restrict is not None:
@@ -250,23 +254,27 @@ class TseitinEncoder:
 # the incremental backend
 # ---------------------------------------------------------------------------
 
+
 class IncrementalSolver(SolverBackend):
-    """Assumption-literal based incremental DPLL(T) solver.
+    """Assumption-literal based incremental CDCL(T) solver.
 
     Every distinct asserted formula gets a *selector* literal ``s`` and a
     guard clause ``s -> formula``; a scope is the list of selectors asserted
     since the matching ``push``, and ``check`` solves under the union of the
     live selectors as assumptions.  Popping a scope merely forgets its
     selector list — the CNF, the atom table, and all learned theory lemmas
-    stay, so later scopes that re-assert the same formulas (the Horn
-    fixpoint loop, the type checker's subtyping queries) reuse everything.
+    stay in the **one persistent SAT solver**, so later scopes that
+    re-assert the same formulas (the Horn fixpoint loop, the type checker's
+    subtyping queries) reuse everything.  No clauses are ever copied per
+    check: watched literals skip clauses whose selectors are inactive, and
+    the SAT core's learned-clause GC keeps the lemma database bounded.
 
     Theory lemmas learned by blocking inconsistent assignments are valid
-    sentences of the theory, so keeping them across scopes is sound.  Each
-    ``check`` hands the SAT core only the clauses the *active* assertions
-    depend on (via the encoder's clause provenance) plus the learned lemmas
-    over active atoms, so query cost tracks the live scope rather than the
-    whole history of the solver.
+    sentences of the theory, so keeping them across scopes is sound (and
+    dropping them in a garbage collection merely means the theory may have
+    to refute the same assignment again).  Each ``check`` restricts the
+    theory checker to the atoms of the *active* assertions, maintained
+    incrementally as scopes are pushed and popped.
 
     Note on finite sets: set atoms are compiled away per assertion, so the
     element universe of a positive set equality/inclusion is the assertion's
@@ -283,17 +291,26 @@ class IncrementalSolver(SolverBackend):
 
     def __init__(self, statistics: Optional[SolverStatistics] = None) -> None:
         self._encoder = TseitinEncoder()
+        self._sat = SatSolver()
         self._theory = TheoryChecker()
         self._fresh = FreshNames()
+        #: clauses of the encoder already loaded into the SAT core.
+        self._loaded_clauses = 0
         #: formula -> selector literal (None when the formula is trivially true).
         self._selectors: Dict[Formula, Optional[int]] = {}
         #: selector literal -> variables of the theory atoms it activates.
         self._selector_atoms: Dict[int, frozenset] = {}
-        #: selector literal -> (guard clause index, encoded root formula or None).
-        self._selector_info: Dict[int, Tuple[int, Optional[Formula]]] = {}
-        #: learned theory lemmas, indexed by one representative atom variable
-        #: so a check only examines lemmas touching its active atoms.
-        self._lemmas_by_var: Dict[int, List[List[int]]] = {}
+        #: multiset over the live selectors' atoms, maintained incrementally
+        #: on assert_/pop instead of re-unioned per check.  Doubles as the
+        #: SAT core's decision cone: Tseitin auxiliaries follow from atom
+        #: assignments by unit propagation, so atoms are the only variables
+        #: worth branching on.
+        self._active_atom_counts: Dict[int, int] = {}
+        #: directed (lhs, rhs) term pair -> [(relation, variable)] for the
+        #: comparison/equality atoms over it (theory linking index).
+        self._atoms_by_pair: Dict[Tuple[Formula, Formula], List[Tuple[str, int]]] = {}
+        #: atoms of the encoder's log already linked.
+        self._linked_atoms = 0
         self._frames: List[List[int]] = [[]]
         self.statistics = statistics if statistics is not None else SolverStatistics()
 
@@ -305,7 +322,14 @@ class IncrementalSolver(SolverBackend):
     def pop(self) -> None:
         if len(self._frames) == 1:
             raise RuntimeError("pop without matching push")
-        self._frames.pop()
+        counts = self._active_atom_counts
+        for selector in self._frames.pop():
+            for variable in self._selector_atoms[selector]:
+                remaining = counts[variable] - 1
+                if remaining:
+                    counts[variable] = remaining
+                else:
+                    del counts[variable]
 
     def has_assertions(self) -> bool:
         """Is any assertion live in any scope (base frame included)?"""
@@ -321,35 +345,36 @@ class IncrementalSolver(SolverBackend):
             self._selectors[formula] = selector
         if selector is not None:
             self._frames[-1].append(selector)
+            counts = self._active_atom_counts
+            for variable in self._selector_atoms[selector]:
+                counts[variable] = counts.get(variable, 0) + 1
 
     def check(self) -> bool:
-        self.statistics.sat_queries += 1
-        assumptions = [lit for frame in self._frames for lit in frame]
-        active_atoms = frozenset().union(
-            *(self._selector_atoms[lit] for lit in assumptions)
-        ) if assumptions else frozenset()
-        sat = self._relevant_sat_solver(assumptions, active_atoms)
-        for _ in range(self.MAX_ITERATIONS):
-            result = sat.solve(assumptions)
-            if not result.satisfiable:
-                return False
-            # Only atoms of live assertions that the search actually decided
-            # constrain the theory; everything else is a don't-care.
-            literals = self._encoder.theory_literals(result.model, active_atoms & result.assigned)
-            self.statistics.theory_checks += 1
-            if self._theory.is_consistent(literals):
-                return True
-            conflict = _shrink_conflict(self._theory, literals)
-            blocking = [
-                -self._encoder.atom_variable(lit.atom) if lit.polarity
-                else self._encoder.atom_variable(lit.atom)
-                for lit in conflict
-            ]
-            self._lemmas_by_var.setdefault(
-                min(abs(literal) for literal in blocking), []
-            ).append(blocking)
-            sat.add_clause(blocking)
-        raise RuntimeError("SMT solver exceeded its iteration budget")
+        return self._solve_active() is not None
+
+    def check_evaluating(
+        self, probes: Sequence[Formula]
+    ) -> Optional[List[Optional[bool]]]:
+        """Check the live assertions; on SAT, also report each probe's truth
+        value under the discovered theory-consistent model.
+
+        Returns ``None`` when the assertions are unsatisfiable.  Otherwise
+        the list holds one entry per probe: the probe is evaluated
+        three-valued over exactly the atoms the theory checker vouched for
+        (the model's prime implicant), so a ``True``/``False`` entry holds
+        in a genuine theory model of the live assertions; ``None`` means
+        the checked atoms leave the probe undetermined (or the probe is
+        unevaluable: set atoms, ite-lifting).
+        """
+        outcome = self._solve_active()
+        if outcome is None:
+            return None
+        model, checked = outcome
+        atom_vars = self._encoder._atom_vars
+        return [
+            _evaluate_partial(intern_formula(probe), atom_vars, model, checked)
+            for probe in probes
+        ]
 
     def check_assuming(self, formulas) -> bool:
         formulas = list(formulas)
@@ -373,6 +398,51 @@ class IncrementalSolver(SolverBackend):
 
     # -- internals -----------------------------------------------------------
 
+    def _solve_active(self) -> Optional[Tuple[Dict[int, bool], frozenset]]:
+        """The lazy CDCL(T) loop over the persistent SAT core.
+
+        Returns ``(model, checked_atoms)`` — the propositional model of a
+        theory-consistent assignment plus the atom variables the theory
+        checker actually vouched for — or ``None`` when the active scope is
+        unsatisfiable.
+        """
+        self.statistics.sat_queries += 1
+        assumptions = [lit for frame in self._frames for lit in frame]
+        active_atoms = frozenset(self._active_atom_counts)
+        sat = self._sat
+        try:
+            for _ in range(self.MAX_ITERATIONS):
+                result = sat.solve(assumptions, decide=active_atoms)
+                if not result.satisfiable:
+                    return None
+                # Only atoms the model *needs* (the prime implicant of the
+                # live assertions) constrain the theory; everything else is
+                # a don't-care.
+                restrict = active_atoms & result.assigned
+                literals = self._encoder.theory_literals(result.model, restrict)
+                self.statistics.theory_checks += 1
+                if self._theory.is_consistent(literals):
+                    return result.model, restrict
+                conflict = _shrink_conflict(self._theory, literals, self.statistics)
+                sat.add_lemma(
+                    [
+                        -self._encoder.atom_variable(lit.atom) if lit.polarity
+                        else self._encoder.atom_variable(lit.atom)
+                        for lit in conflict
+                    ]
+                )
+        finally:
+            self._sync_sat_statistics()
+        raise RuntimeError("SMT solver exceeded its iteration budget")
+
+    def _sync_sat_statistics(self) -> None:
+        stats, sat_stats = self.statistics, self._sat.statistics
+        stats.propagations = sat_stats.propagations
+        stats.conflicts = sat_stats.conflicts
+        stats.restarts = sat_stats.restarts
+        stats.learned_clauses = sat_stats.learned_clauses
+        stats.gced_clauses = sat_stats.gced_clauses
+
     def _make_selector(self, formula: Formula) -> Optional[int]:
         self.statistics.encoded_assertions += 1
         processed = self._preprocess(formula)
@@ -382,35 +452,76 @@ class IncrementalSolver(SolverBackend):
         if is_false(processed):
             # Assuming the selector contradicts this unit guard, making any
             # scope that asserts the formula unsatisfiable.
-            guard = self._encoder.emit_clause([-selector])
+            self._encoder.emit_clause([-selector])
             self._selector_atoms[selector] = frozenset()
-            self._selector_info[selector] = (guard, None)
         else:
             root = self._encoder.encode(processed)
-            guard = self._encoder.emit_clause([-selector, root])
-            self._selector_info[selector] = (guard, processed)
+            self._encoder.emit_clause([-selector, root])
             self._selector_atoms[selector] = self._encoder.atom_closure(processed)
+        self._load_new_clauses()
+        self._link_new_atoms()
         return selector
 
-    def _relevant_sat_solver(self, assumptions: List[int], active_atoms: frozenset) -> SatSolver:
-        """A SAT solver primed with exactly the clauses this check needs:
-        the active assertions' guard clauses and encodings, plus learned
-        lemmas entirely over active atoms (lemmas touching an inactive atom
-        are trivially satisfiable here and would only slow the search)."""
-        needed: set = set()
-        for selector in set(assumptions):
-            guard, root = self._selector_info[selector]
-            needed.add(guard)
-            if root is not None:
-                needed.update(self._encoder.clause_closure(root))
-        sat = SatSolver()
+    def _load_new_clauses(self) -> None:
+        """Feed clauses emitted since the last load into the SAT core —
+        each clause is encoded and loaded exactly once per solver lifetime."""
         clauses = self._encoder.clauses
-        sat.add_clauses(clauses[index] for index in sorted(needed))
-        for variable in active_atoms:
-            for lemma in self._lemmas_by_var.get(variable, ()):
-                if all(abs(literal) in active_atoms for literal in lemma):
-                    sat.add_clause(lemma)
-        return sat
+        for index in range(self._loaded_clauses, len(clauses)):
+            self._sat.add_clause(clauses[index])
+        self._loaded_clauses = len(clauses)
+
+    #: A relation over a directed term pair (a, b), as the set of outcomes
+    #: of comparing a with b it allows — bit 4: a < b, bit 2: a = b,
+    #: bit 1: a > b.  (For non-arithmetic sorts only eq/neq atoms arise,
+    #: and merging their "<"/">" bits into plain disequality stays exact.)
+    _REL_SIGNS = {"lt": 0b100, "eq": 0b010, "gt": 0b001, "le": 0b110, "ge": 0b011, "neq": 0b101}
+
+    #: Flip a relation to the opposite orientation of its term pair.
+    _FLIP = {"le": "ge", "ge": "le", "lt": "gt", "gt": "lt", "eq": "eq", "neq": "neq"}
+
+    def _link_new_atoms(self) -> None:
+        """Seed theory-valid lemmas relating comparison atoms over the same
+        term pair (``a = b  ->  a <= b`` and friends).
+
+        The lazy loop would discover each of these as a one-off theory
+        conflict (costing a theory check, a minimization, and a re-solve);
+        linking them propositionally at interning time lets unit
+        propagation rule the combinations out for free.
+        """
+        log = self._encoder.atom_log
+        while self._linked_atoms < len(log):
+            atom, variable = log[self._linked_atoms]
+            self._linked_atoms += 1
+            decomposed = _comparison_parts(atom)
+            if decomposed is None:
+                continue
+            relation, lhs, rhs = decomposed
+            same = self._atoms_by_pair.setdefault((lhs, rhs), [])
+            for other_rel, other_var in same:
+                self._emit_link(relation, variable, other_rel, other_var)
+            if lhs is not rhs:
+                for other_rel, other_var in self._atoms_by_pair.get((rhs, lhs), ()):
+                    self._emit_link(relation, variable, self._FLIP[other_rel], other_var)
+            same.append((relation, variable))
+
+    def _emit_link(self, relation: str, variable: int, other_rel: str, other_var: int) -> None:
+        """Every valid binary clause relating two atoms over one term pair.
+
+        With relations as outcome sets S over {<, =, >}: ``P -> Q`` is valid
+        iff S(P) is a subset of S(Q), ``P | Q`` iff the sets cover all
+        outcomes, and ``!P | !Q`` iff they are disjoint.
+        """
+        first = self._REL_SIGNS[relation]
+        second = self._REL_SIGNS[other_rel]
+        lemma = self._sat.add_lemma
+        if first | second == 0b111:
+            lemma([variable, other_var])
+        if first & second == 0:
+            lemma([-variable, -other_var])
+        if first & ~second == 0:
+            lemma([-variable, other_var])
+        if second & ~first == 0:
+            lemma([variable, -other_var])
 
     def _preprocess(self, formula: Formula) -> Formula:
         formula = simplify(formula)
@@ -425,17 +536,146 @@ class IncrementalSolver(SolverBackend):
         return simplify(formula)
 
 
-def _shrink_conflict(theory: TheoryChecker, literals: List[Literal]) -> List[Literal]:
-    """Deletion-based minimization of an inconsistent literal set."""
-    current = list(literals)
-    index = 0
-    while index < len(current):
-        candidate = current[:index] + current[index + 1:]
-        if candidate and not theory.is_consistent(candidate):
-            current = candidate
-        else:
-            index += 1
-    return current
+_COMPARISON_RELS = {
+    BinaryOp.LE: "le",
+    BinaryOp.LT: "lt",
+    BinaryOp.GE: "ge",
+    BinaryOp.GT: "gt",
+    BinaryOp.EQ: "eq",
+    BinaryOp.NEQ: "neq",
+}
+
+
+def _comparison_parts(atom: Formula) -> Optional[Tuple[str, Formula, Formula]]:
+    """Decompose a comparison/equality atom into (relation, lhs, rhs)."""
+    if isinstance(atom, Binary):
+        relation = _COMPARISON_RELS.get(atom.op)
+        if relation is not None:
+            return relation, atom.lhs, atom.rhs
+    return None
+
+
+def _evaluate_partial(
+    formula: Formula,
+    atom_vars: Dict[Formula, int],
+    model: Dict[int, bool],
+    checked: frozenset,
+) -> Optional[bool]:
+    """Three-valued evaluation of a (raw) probe formula under a model.
+
+    Atoms count as decided only when the theory checker vouched for their
+    model value (``checked``); every other leaf — unknown atoms, set
+    atoms compiled away during encoding, lifted ``ite`` terms — is unknown,
+    and unknowns propagate by three-valued logic.  A definite answer
+    therefore holds in a genuine theory model of the live assertions,
+    which is what makes counterexample-driven pruning sound.
+    """
+    if isinstance(formula, BoolLit):
+        return formula.value
+    if isinstance(formula, Unary) and formula.op is UnaryOp.NOT:
+        inner = _evaluate_partial(formula.arg, atom_vars, model, checked)
+        return None if inner is None else not inner
+    if isinstance(formula, Binary) and formula.op in (
+        BinaryOp.AND,
+        BinaryOp.OR,
+        BinaryOp.IMPLIES,
+        BinaryOp.IFF,
+    ):
+        lhs = _evaluate_partial(formula.lhs, atom_vars, model, checked)
+        rhs = _evaluate_partial(formula.rhs, atom_vars, model, checked)
+        if formula.op is BinaryOp.AND:
+            if lhs is False or rhs is False:
+                return False
+            return True if lhs is True and rhs is True else None
+        if formula.op is BinaryOp.OR:
+            if lhs is True or rhs is True:
+                return True
+            return False if lhs is False and rhs is False else None
+        if formula.op is BinaryOp.IMPLIES:
+            if lhs is False or rhs is True:
+                return True
+            return False if lhs is True and rhs is False else None
+        if lhs is None or rhs is None:
+            return None
+        return lhs == rhs
+    if isinstance(formula, Ite) and isinstance(formula.sort, BoolSort):
+        cond = _evaluate_partial(formula.cond, atom_vars, model, checked)
+        if cond is None:
+            return None
+        branch = formula.then_ if cond else formula.else_
+        return _evaluate_partial(branch, atom_vars, model, checked)
+    # A theory atom: trusted only when the theory check covered it.
+    variable = atom_vars.get(formula)
+    if variable is not None and variable in checked:
+        return model.get(variable)
+    return None
+
+
+#: Below this size a linear deletion scan needs fewer theory checks than
+#: the divide-and-conquer (which pays for re-checking split backgrounds).
+_SHRINK_DELETION_LIMIT = 8
+
+
+def _shrink_conflict(
+    theory: TheoryChecker,
+    literals: List[Literal],
+    statistics: Optional[SolverStatistics] = None,
+) -> List[Literal]:
+    """QuickXplain-style divide-and-conquer minimization of an inconsistent
+    literal set (Junker 2004).
+
+    Replaces the former always-linear deletion loop: whole halves that are
+    irrelevant to the conflict are discarded with a single theory check, so
+    small cores inside wide assignments cost O(core * log n) checks instead
+    of O(n).  Tiny conflicts (where deletion's n checks beat the
+    divide-and-conquer's bookkeeping) keep the one-at-a-time scan as the
+    base case.
+    """
+
+    def consistent(subset: List[Literal]) -> bool:
+        if statistics is not None:
+            statistics.shrink_theory_checks += 1
+        return theory.is_consistent(subset)
+
+    def deletion(background: List[Literal], candidates: List[Literal]) -> List[Literal]:
+        """Minimal subset of ``candidates`` inconsistent with ``background``
+        by one-at-a-time deletion — never returns a consistent core."""
+        current = list(candidates)
+        index = 0
+        while index < len(current):
+            trial = current[:index] + current[index + 1 :]
+            if (trial or background) and not consistent(background + trial):
+                current = trial
+            else:
+                index += 1
+        return current
+
+    def quickxplain(
+        background: List[Literal], candidates: List[Literal], background_grew: bool
+    ) -> List[Literal]:
+        if background_grew and not consistent(background):
+            return []
+        if len(candidates) == 1:
+            return list(candidates)
+        if len(candidates) <= _SHRINK_DELETION_LIMIT:
+            return deletion(background, candidates)
+        mid = len(candidates) // 2
+        left, right = candidates[:mid], candidates[mid:]
+        conflict_right = quickxplain(background + left, right, bool(left))
+        conflict_left = quickxplain(background + conflict_right, left, bool(conflict_right))
+        return conflict_left + conflict_right
+
+    if len(literals) <= 1:
+        return list(literals)
+    if len(literals) <= _SHRINK_DELETION_LIMIT:
+        return deletion([], literals)
+    core = quickxplain([], list(literals), False)
+    # Safety net: the divide-and-conquer relies on the theory checker being
+    # monotone; fall back to blocking the full assignment if minimization
+    # ever produced a consistent subset.
+    if core and not consistent(core):
+        return core
+    return list(literals)
 
 
 # ---------------------------------------------------------------------------

@@ -53,17 +53,37 @@ class TheoryConflict(Exception):
 
 
 class TheoryChecker:
-    """Checks consistency of a conjunction of theory literals."""
+    """Checks consistency of a conjunction of theory literals.
+
+    Answers are memoized per literal *set*: consistency is order-insensitive
+    and the checker is stateless across calls, so the lazy SMT loop's
+    conflict minimization — which probes many overlapping subsets of the
+    same assignment, often across queries sharing their atoms — pays for
+    each distinct subset once.
+    """
+
+    #: Memo entries are dropped wholesale past this bound (the sets are
+    #: small, but synthesis sessions issue tens of thousands of probes).
+    MAX_CACHE = 65536
 
     def __init__(self) -> None:
         self._lia = LiaSolver()
+        self._cache: Dict[frozenset, bool] = {}
 
     def is_consistent(self, literals: Sequence[Literal]) -> bool:
         """Is the conjunction of the given literals satisfiable?"""
+        key = frozenset(literals)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
         try:
-            return self._check(literals)
+            result = self._check(literals)
         except TheoryConflict:
-            return False
+            result = False
+        if len(self._cache) >= self.MAX_CACHE:
+            self._cache.clear()
+        self._cache[key] = result
+        return result
 
     # -- internals ---------------------------------------------------------
 

@@ -82,6 +82,7 @@ class TestEndToEnd:
         root = SCRIPT.parent.parent
         horn = gate.load_means(root / "BENCH_horn.json")
         typecheck = gate.load_means(root / "BENCH_typecheck.json")
+        smt = gate.load_means(root / "BENCH_smt.json")
         assert {"horn.max", "horn.abs"} <= set(horn)
         assert {
             "typecheck.length",
@@ -90,3 +91,9 @@ class TestEndToEnd:
             "typecheck.stutter",
             "typecheck.stutter-reject",
         } == set(typecheck)
+        assert {
+            "smt.pigeonhole-6",
+            "smt.horn-chain",
+            "smt.assumption-churn",
+            "smt.stutter-deep",
+        } == set(smt)

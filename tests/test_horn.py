@@ -77,6 +77,20 @@ class TestMaxExample:
         # per-qualifier probe reuses the constraint's premise selectors
         assert stats.reused_assertions > 0
 
+    def test_counterexample_model_batches_qualifier_pruning(self):
+        # When a constraint's full valuation fails, the counterexample
+        # model prunes falsified qualifiers without per-qualifier queries;
+        # the final assignment is unchanged.
+        constraints, spaces = max_system()
+        solver = HornSolver()
+        solution = solver.solve(constraints, spaces)
+        assert solution.solved
+        assert solver.statistics.model_pruned_qualifiers > 0
+        # Every model-pruned qualifier saved one validity query.
+        assert solver.statistics.validity_checks < 37  # the pre-batching count
+        valuation = set(solution.assignment["P"])
+        assert ops.le(x, nu) in valuation and ops.le(y, nu) in valuation
+
     def test_weakest_assignment(self):
         constraints, spaces = max_system()
         solution = HornSolver().solve(constraints, spaces, minimize=True)

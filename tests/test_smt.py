@@ -206,20 +206,70 @@ class TestIncrementalSolver:
         assert solver.is_valid_implication([ops.member(x, s), ops.subset(s, t)], ops.member(x, t))
         assert not solver.is_valid_implication([ops.member(x, s)], ops.member(x, t))
 
-    def test_check_cost_tracks_active_scope_not_history(self):
-        # After many unrelated assertions in popped scopes, a small check
-        # must only hand the SAT core the clauses of its live assertions.
+    def test_one_persistent_sat_solver_no_per_check_copying(self):
+        # The SAT core lives for the solver's whole lifetime: every check
+        # reuses the same solver object, and clauses are loaded into it
+        # exactly once per encoded formula — never copied per query.
         solver = IncrementalSolver()
+        core = solver._sat
         for k in range(50):
             solver.push()
             solver.assert_(ops.le(ops.var(f"v{k}", INT), IntLit(k)))
-            solver.check()
+            assert solver.check()
             solver.pop()
+        assert solver._sat is core
+        loaded = core.num_clauses
+        # Re-running the same scopes encodes and loads nothing new.
+        for k in range(50):
+            solver.push()
+            solver.assert_(ops.le(ops.var(f"v{k}", INT), IntLit(k)))
+            assert solver.check()
+            solver.pop()
+        assert solver._sat is core
+        assert core.num_clauses == loaded
+        assert solver.statistics.encoded_assertions == 50
+        assert solver.statistics.reused_assertions == 50
+
+    def test_active_atoms_cache_tracks_scopes(self):
+        # The active-atom multiset is maintained incrementally across
+        # assert_/push/pop instead of re-unioned per check.
+        solver = IncrementalSolver()
+        solver.assert_(ops.le(x, y))
+        base = dict(solver._active_atom_counts)
+        assert base  # the base-frame assertion contributes its atoms
+        solver.push()
+        solver.assert_(ops.lt(y, z))
+        solver.assert_(ops.le(x, y))  # re-assertion counts twice
+        assert len(solver._active_atom_counts) > len(base)
+        solver.pop()
+        assert dict(solver._active_atom_counts) == base
+
+    def test_check_evaluating_reads_back_counterexample(self):
+        solver = IncrementalSolver()
+        solver.push()
+        a, b = ops.le(x, y), ops.le(y, z)
+        solver.assert_(a)
+        # The negated conjunction forces the model to falsify one conjunct;
+        # the probes read that counterexample back, atom for atom.
+        solver.push()
+        solver.assert_(ops.not_(ops.and_(a, b)))
+        values = solver.check_evaluating([a, b, ops.and_(a, b)])
+        assert values[0] is True  # asserted, so true in every model
+        assert values[1] is False  # the only way to falsify the conjunction
+        assert values[2] is False
+        solver.pop()
+        solver.assert_(ops.lt(y, x))
+        assert solver.check_evaluating([a]) is None  # UNSAT
+        solver.pop()
+
+    def test_check_evaluating_trivial_and_unevaluable_probes(self):
+        solver = IncrementalSolver()
         solver.push()
         solver.assert_(ops.le(x, y))
-        sat = solver._relevant_sat_solver(
-            [lit for frame in solver._frames for lit in frame],
-            frozenset(),
-        )
+        t = ops.bool_lit(True)
+        s = ops.var("s", set_of(INT))
+        values = solver.check_evaluating([t, ops.not_(t), ops.member(x, s)])
+        assert values[0] is True
+        assert values[1] is False
+        assert values[2] is None  # set probes cannot be read from a model
         solver.pop()
-        assert sat.num_clauses <= 3  # one guard clause, not 50+ history
