@@ -17,6 +17,12 @@ Exercises the solver layers the other suites only touch incidentally::
   over a fixed formula pool: after the first pass every assertion must be
   answered from the selector table (``reused_assertions``), with zero
   re-encoding.
+* ``smt.lia-chain`` — an arithmetic chain ``v0+1 <= v1 <= ... <= v9``
+  probed by hundreds of push/pop-bracketed endpoint-bound assertions that
+  alternate between feasible and infeasible windows: the incremental
+  simplex must retract the bounds on pop and resume each check from its
+  previous feasible basis (``tableau_pivots`` stays far below what
+  from-scratch tableaus would cost).
 * ``smt.stutter-deep`` — the paper's ``stutter`` synthesis goal at an
   enumeration depth one above the regular suite, the end-to-end pressure
   test for persistent incrementality across trial scopes.
@@ -107,6 +113,7 @@ def run_horn_chain(length: int = 12):
         "theory_checks": backend.theory_checks,
         "shrink_theory_checks": backend.shrink_theory_checks,
         "propagations": backend.propagations,
+        "theory_propagations": backend.theory_propagations,
         "conflicts": backend.conflicts,
     }
 
@@ -139,6 +146,49 @@ def run_assumption_churn(cycles: int = 200, pool: int = 40):
     }
 
 
+def run_lia_chain(cycles: int = 150, length: int = 10):
+    variables = [ops.var(f"c{i}", INT) for i in range(length)]
+    solver = IncrementalSolver()
+    for below, above in zip(variables, variables[1:]):
+        solver.assert_(ops.le(ops.plus(below, IntLit(1)), above))
+    start = time.perf_counter()
+    for cycle in range(cycles):
+        low = cycle % 7
+        solver.push()
+        solver.assert_(ops.ge(variables[0], IntLit(low)))
+        # A disjunction whose first disjunct contradicts the asserted lower
+        # bound on the same variable: theory propagation must refute it from
+        # the bound (one reason literal) instead of branching on it.
+        solver.assert_(
+            ops.or_(
+                ops.le(variables[0], IntLit(low - 1)),
+                ops.ge(variables[-1], IntLit(low)),
+            )
+        )
+        if cycle % 3 == 0:
+            # The chain forces v9 >= v0 + 9; a window of 8 is infeasible.
+            solver.assert_(ops.le(variables[-1], IntLit(low + length - 2)))
+            expected = False
+        else:
+            solver.assert_(ops.le(variables[-1], IntLit(low + length)))
+            expected = True
+        assert solver.check() == expected, "lia-chain verdict changed"
+        solver.pop()
+    elapsed = time.perf_counter() - start
+    stats = solver.statistics
+    assert stats.tableau_pivots > 0, "chain repair must pivot"
+    assert stats.theory_propagations > 0, "bound propagation must fire"
+    return elapsed, {
+        "sat_queries": stats.sat_queries,
+        "theory_checks": stats.theory_checks,
+        "theory_propagations": stats.theory_propagations,
+        "tableau_pivots": stats.tableau_pivots,
+        "conflicts": stats.conflicts,
+        "minimized_literals": stats.minimized_literals,
+        "reused_assertions": stats.reused_assertions,
+    }
+
+
 def run_stutter_deep(depth: int = 5):
     source = (ROOT / "examples" / "stutter.sq").read_text()
     start = time.perf_counter()
@@ -155,6 +205,10 @@ def run_stutter_deep(depth: int = 5):
         shrink_theory_checks=backend.shrink_theory_checks,
         conflicts=backend.conflicts,
         learned_clauses=backend.learned_clauses,
+        theory_propagations=backend.theory_propagations,
+        tableau_pivots=backend.tableau_pivots,
+        lemmas_generalized=backend.lemmas_generalized,
+        minimized_literals=backend.minimized_literals,
     )
     return elapsed, counters
 
@@ -163,6 +217,7 @@ BENCHMARKS = {
     "smt.pigeonhole-6": run_pigeonhole,
     "smt.horn-chain": run_horn_chain,
     "smt.assumption-churn": run_assumption_churn,
+    "smt.lia-chain": run_lia_chain,
     "smt.stutter-deep": run_stutter_deep,
 }
 

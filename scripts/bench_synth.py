@@ -47,7 +47,12 @@ def run_workload(source: str, goal_name: str, depth: int):
     elapsed = time.perf_counter() - start
     assert result.solved and result.verified, f"benchmark goal {goal_name} changed verdict"
     counters = result.statistics.as_dict()
-    counters["sat_queries"] = synthesizer.session.backend.statistics.sat_queries
+    backend = synthesizer.session.backend.statistics
+    counters["sat_queries"] = backend.sat_queries
+    counters["theory_propagations"] = backend.theory_propagations
+    counters["tableau_pivots"] = backend.tableau_pivots
+    counters["lemmas_generalized"] = backend.lemmas_generalized
+    counters["minimized_literals"] = backend.minimized_literals
     return elapsed, counters
 
 

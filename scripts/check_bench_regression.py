@@ -14,8 +14,14 @@ noise-exempt only when *both* means sit below ``--min-seconds`` (default
 while a genuine blowup from a tiny baseline still trips the gate because
 the candidate side clears the floor.  Cases present on only one side are
 reported but never fail the gate (new benchmarks need a first run to
-become a baseline).  Exactly one summary line is printed per invocation
-so the job log stays scannable.
+become a baseline).
+
+The solver-behaviour counters in :data:`TRACKED_COUNTERS` (theory
+propagations, tableau pivots, generalized lemmas, minimized literals) are
+diffed report-only: a drift means the search behaved differently, which
+is exactly what triages a wall-clock change, but it is never a failure by
+itself.  Exactly one summary line is printed per invocation so the job
+log stays scannable.
 """
 
 from __future__ import annotations
@@ -27,10 +33,42 @@ from pathlib import Path
 from typing import Dict, List, Tuple
 
 
+#: Counters whose drift between baseline and candidate is reported (but
+#: never gated): they fingerprint solver search behaviour, so an unchanged
+#: set means a wall-clock delta is machine noise, not a solver change.
+TRACKED_COUNTERS = (
+    "theory_propagations",
+    "tableau_pivots",
+    "lemmas_generalized",
+    "minimized_literals",
+)
+
+
 def load_means(path: Path) -> Dict[str, float]:
     """name -> mean seconds for every benchmark entry of a report."""
     report = json.loads(path.read_text())
     return {entry["name"]: float(entry["mean_s"]) for entry in report.get("benchmarks", [])}
+
+
+def load_counters(path: Path) -> Dict[str, Dict[str, int]]:
+    """name -> counters dict for every benchmark entry of a report."""
+    report = json.loads(path.read_text())
+    return {entry["name"]: entry.get("counters", {}) for entry in report.get("benchmarks", [])}
+
+
+def counter_drift(
+    baseline: Dict[str, Dict[str, int]], candidate: Dict[str, Dict[str, int]]
+) -> List[str]:
+    """Report-only notes for tracked counters that changed on shared cases."""
+    notes: List[str] = []
+    for name in sorted(set(baseline) & set(candidate)):
+        base, fresh = baseline[name], candidate[name]
+        for key in TRACKED_COUNTERS:
+            if key not in base and key not in fresh:
+                continue
+            if base.get(key) != fresh.get(key):
+                notes.append(f"{name}.{key} {base.get(key)}->{fresh.get(key)}")
+    return notes
 
 
 def compare(
@@ -82,9 +120,12 @@ def main() -> int:
     baseline = load_means(args.baseline)
     candidate = load_means(args.candidate)
     failures, ratios, skipped = compare(baseline, candidate, args.threshold, args.min_seconds)
+    drift = counter_drift(load_counters(args.baseline), load_counters(args.candidate))
 
     suite = args.baseline.name
     notes = f"; skipped: {', '.join(skipped)}" if skipped else ""
+    if drift:
+        notes += f"; counter drift (report-only): {', '.join(drift)}"
     if failures:
         print(f"perf gate [{suite}]: FAIL — {'; '.join(failures)}{notes}")
         return 1

@@ -6,9 +6,11 @@ validity / satisfiability queries.  Two layers serve them:
 * :class:`SolverBackend` — the abstract *incremental* interface
   (``push`` / ``pop`` / ``assert_`` / ``check``).  The concrete
   :class:`repro.smt.solver.IncrementalSolver` implements it with assumption
-  literals over a single persistent SAT solver and theory checker, so a
-  fixpoint loop that re-asserts the same premises thousands of times pays
-  for their encoding exactly once and keeps every learned theory lemma.
+  literals over a single persistent SAT solver running DPLL(T) against one
+  persistent, trail-backed theory state, so a fixpoint loop that re-asserts
+  the same premises thousands of times pays for their encoding exactly
+  once, keeps every learned (and alpha-generalized) theory lemma, and
+  resumes every simplex check from the previous feasible basis.
 
 * the module-level functions (:func:`valid`, :func:`satisfiable`) — a
   back-compat shim routing one-shot queries through a process-wide shared

@@ -21,7 +21,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from math import gcd
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 
 class Relation(enum.Enum):
@@ -258,3 +259,484 @@ class LiaSolver:
                 else:
                     occurrences[name] = (lower, upper + 1)
         return min(occurrences, key=lambda n: occurrences[n][0] * occurrences[n][1])
+
+
+# ---------------------------------------------------------------------------
+# incremental simplex
+# ---------------------------------------------------------------------------
+
+#: Explanation tag of constraints derived internally (Nelson–Oppen equality
+#: propagation); conflicts containing it cannot be explained from bound tags
+#: alone and callers fall back to the full asserted set.
+DERIVED = object()
+
+
+class Simplex:
+    """An incremental Dutertre–de Moura general simplex over the rationals.
+
+    The tableau is *permanent*: every linear atom gets a slack variable
+    ``s = expr`` whose defining row is installed once and reused by all
+    later constraints over the same (gcd/sign-normalized) expression.
+    Asserting a constraint only adds or tightens a *bound* on a variable —
+    recorded on an undo trail so :meth:`mark` / :meth:`undo_to` retract it
+    in O(1) — and :meth:`check` restores bound feasibility by Bland-rule
+    pivoting that resumes from the previous feasible basis rather than
+    re-solving from scratch.
+
+    Decides the same theory as the one-shot :class:`LiaSolver` (rational
+    feasibility of integer-tightened constraints, disequalities by ±1 case
+    splitting), which the differential test suite relies on.  Every bound
+    carries the caller's *tag* (typically the asserting theory literal);
+    infeasibility verdicts return the tags of a conflicting bound set, so
+    theory conflicts are explained without a minimization pass.
+    """
+
+    def __init__(self) -> None:
+        #: external name -> variable id
+        self._ids: Dict[str, int] = {}
+        #: normalized multi-variable expression -> slack variable id
+        self._slacks: Dict[Tuple[Tuple[int, Fraction], ...], int] = {}
+        #: memo of :meth:`_variable_for` resolutions keyed by the raw
+        #: coefficient tuple: (variable, scale, normalized key or None).
+        #: Sound because the form -> variable mapping is persistent —
+        #: ids are never deallocated, only defining *rows* are GC'd.
+        self._form_cache: Dict[
+            Tuple[Tuple[str, Fraction], ...],
+            Tuple[int, Fraction, Optional[Tuple[Tuple[int, Fraction], ...]]],
+        ] = {}
+        self._next_var = 0
+        #: basic variable -> {nonbasic variable: coefficient}
+        self._rows: Dict[int, Dict[int, Fraction]] = {}
+        #: nonbasic variable -> basic variables whose row mentions it
+        self._cols: Dict[int, Set[int]] = {}
+        #: the current rational assignment (beta)
+        self._value: Dict[int, Fraction] = {}
+        self._lower: Dict[int, Tuple[Fraction, object]] = {}
+        self._upper: Dict[int, Tuple[Fraction, object]] = {}
+        #: live disequalities: (variable, tag, left split bound, right split bound)
+        self._neqs: List[Tuple[int, object, Tuple, Tuple]] = []
+        self._trail: List[Tuple] = []
+        #: slack ids whose defining relation is currently in the tableau
+        #: (uninstalled rows are re-derived on demand, see _collect_garbage)
+        self._row_installed: Set[int] = set()
+        #: slack id -> normalized expression key (for row reinstallation)
+        self._slack_keys: Dict[int, Tuple[Tuple[int, Fraction], ...]] = {}
+        #: basic variables whose value or bounds changed since they were
+        #: last verified in-bounds; _repair only scans these
+        self._suspects: Set[int] = set()
+        #: has any bound changed since the last feasible check()?
+        self._dirty = False
+        #: lifetime pivot count (exposed as ``tableau_pivots``)
+        self.pivots = 0
+
+    # -- backtracking --------------------------------------------------------
+
+    def mark(self) -> int:
+        """Snapshot the bound state for a later :meth:`undo_to`."""
+        return len(self._trail)
+
+    def undo_to(self, mark: int) -> None:
+        """Retract every bound and disequality recorded after ``mark``.
+
+        The assignment is *not* rolled back: bounds only loosen on undo, so
+        the current assignment stays bound-feasible whenever it was, and
+        :meth:`check` repairs it from wherever it is otherwise.
+        """
+        trail = self._trail
+        if len(trail) > mark:
+            self._dirty = True
+        while len(trail) > mark:
+            record = trail.pop()
+            kind = record[0]
+            if kind == "ub":
+                _, var, old = record
+                if old is None:
+                    del self._upper[var]
+                else:
+                    self._upper[var] = old
+            elif kind == "lb":
+                _, var, old = record
+                if old is None:
+                    del self._lower[var]
+                else:
+                    self._lower[var] = old
+            else:  # "neq"
+                self._neqs.pop()
+
+    # -- constraint assertion ------------------------------------------------
+
+    def assert_constraint(self, constraint: Constraint, tag: object) -> Optional[List[object]]:
+        """Assert ``constraint`` (tagged for explanations); returns a
+        conflicting tag set when the new bound is immediately infeasible
+        against an opposite bound, else ``None`` (full feasibility is only
+        decided by :meth:`check`)."""
+        expr = constraint.expr
+        relation = constraint.relation
+        if expr.is_constant():
+            value = expr.constant
+            trivially_true = (
+                value <= 0 if relation is Relation.LE
+                else value == 0 if relation is Relation.EQ
+                else value != 0
+            )
+            return None if trivially_true else [tag]
+        var, scale = self._variable_for(expr.coefficients)
+        target = -expr.constant / scale
+        if relation is Relation.LE:
+            if scale > 0:
+                return self._assert_upper(var, target, tag)
+            return self._assert_lower(var, target, tag)
+        if relation is Relation.EQ:
+            conflict = self._assert_upper(var, target, tag)
+            if conflict is not None:
+                return conflict
+            return self._assert_lower(var, target, tag)
+        # Relation.NEQ — recorded for case splitting at check time, exactly
+        # mirroring LiaSolver: expr <= -1 or expr >= 1 over the integers.
+        low = (-1 - expr.constant) / scale
+        high = (1 - expr.constant) / scale
+        if scale > 0:
+            left, right = ("ub", low), ("lb", high)
+        else:
+            left, right = ("lb", low), ("ub", high)
+        self._neqs.append((var, tag, left, right))
+        self._trail.append(("neq",))
+        self._dirty = True
+        return None
+
+    def bound_form(self, constraint: Constraint) -> Optional[Tuple[int, str, Fraction]]:
+        """Normalize a LE/EQ constraint into ``(variable, kind, bound)`` with
+        ``kind`` one of ``"ub"``/``"lb"``/``"eq"``, for bound-propagation
+        bookkeeping.  Returns ``None`` for constant or NEQ constraints.
+        Asserts nothing — it names the expression's tableau variable but
+        does not install a defining row (bound lookups need only the id).
+        """
+        expr = constraint.expr
+        if expr.is_constant() or constraint.relation is Relation.NEQ:
+            return None
+        var, scale = self._variable_for(expr.coefficients, need_row=False)
+        bound = -expr.constant / scale
+        if constraint.relation is Relation.EQ:
+            return (var, "eq", bound)
+        return (var, "ub" if scale > 0 else "lb", bound)
+
+    def _variable_for(
+        self, coefficients: Tuple[Tuple[str, Fraction], ...], need_row: bool = True
+    ) -> Tuple[int, Fraction]:
+        """The tableau variable standing for a linear form, plus the scale
+        such that ``form == scale * variable``  (gcd/sign normalization, so
+        ``2x+2y`` and ``-x-y`` share one slack).  With ``need_row`` the
+        slack's defining row is (re)installed; without it only the id is
+        allocated — enough to read bounds for propagation."""
+        cached = self._form_cache.get(coefficients)
+        if cached is None:
+            cached = self._resolve_form(coefficients)
+            self._form_cache[coefficients] = cached
+        variable, scale, key = cached
+        if need_row and key is not None and variable not in self._row_installed:
+            self._install_row(variable, key)
+        return variable, scale
+
+    def _resolve_form(
+        self, coefficients: Tuple[Tuple[str, Fraction], ...]
+    ) -> Tuple[int, Fraction, Optional[Tuple[Tuple[int, Fraction], ...]]]:
+        """Allocate (or find) the variable for a linear form: the slow
+        gcd/sign normalization behind :meth:`_variable_for`'s memo."""
+        if len(coefficients) == 1:
+            name, coeff = coefficients[0]
+            return self._plain_var(name), coeff, None
+        denominator_lcm = 1
+        for _, coeff in coefficients:
+            denominator_lcm = denominator_lcm * coeff.denominator // gcd(
+                denominator_lcm, coeff.denominator
+            )
+        numerators = [int(coeff * denominator_lcm) for _, coeff in coefficients]
+        magnitude = 0
+        for numerator in numerators:
+            magnitude = gcd(magnitude, abs(numerator))
+        scale = Fraction(magnitude, denominator_lcm)
+        if numerators[0] < 0:
+            scale = -scale
+        key = tuple(
+            (self._plain_var(name), coeff / scale) for name, coeff in coefficients
+        )
+        slack = self._slacks.get(key)
+        if slack is None:
+            slack = self._next_var
+            self._next_var += 1
+            self._slacks[key] = slack
+            self._slack_keys[slack] = key
+            self._value[slack] = Fraction(0)
+        return slack, scale, key
+
+    def _plain_var(self, name: str) -> int:
+        var = self._ids.get(name)
+        if var is None:
+            var = self._next_var
+            self._next_var += 1
+            self._ids[name] = var
+            self._value[var] = Fraction(0)
+        return var
+
+    def _install_row(self, slack: int, key: Tuple[Tuple[int, Fraction], ...]) -> None:
+        """(Re)install the defining row ``slack == sum(coeff * var)``,
+        substituting current basics away and recomputing the slack's
+        assignment.  Rows of slacks with no bounds are garbage-collected
+        between checks, so installation must be repeatable."""
+        row: Dict[int, Fraction] = {}
+        for var, coeff in key:
+            basic_row = self._rows.get(var)
+            if basic_row is None:
+                row[var] = row.get(var, Fraction(0)) + coeff
+            else:
+                for nonbasic, inner in basic_row.items():
+                    row[nonbasic] = row.get(nonbasic, Fraction(0)) + coeff * inner
+        row = {var: coeff for var, coeff in row.items() if coeff != 0}
+        self._value[slack] = sum(
+            (coeff * self._value[var] for var, coeff in row.items()), Fraction(0)
+        )
+        self._rows[slack] = row
+        for nonbasic in row:
+            self._cols.setdefault(nonbasic, set()).add(slack)
+        self._row_installed.add(slack)
+
+    def _collect_garbage(self) -> None:
+        """Drop the defining row of every *basic* slack with no live bound
+        and no live disequality.
+
+        A basic variable appears in no other row, so removing its row is
+        pure projection: satisfiability over the remaining variables is
+        unchanged.  Without this, slacks from long-retracted scopes keep
+        their rows forever and every pivot pays to rewrite them.  The row
+        is re-derived by :meth:`_variable_for` if the expression is ever
+        bounded again.
+        """
+        rows = self._rows
+        lower = self._lower
+        upper = self._upper
+        neq_vars = {var for var, _, _, _ in self._neqs}
+        dead = [
+            slack
+            for slack in self._row_installed
+            if slack in rows
+            and slack not in lower
+            and slack not in upper
+            and slack not in neq_vars
+        ]
+        for slack in dead:
+            row = rows.pop(slack)
+            for nonbasic in row:
+                mentions = self._cols.get(nonbasic)
+                if mentions is not None:
+                    mentions.discard(slack)
+                    if not mentions:
+                        del self._cols[nonbasic]
+            self._row_installed.discard(slack)
+            self._suspects.discard(slack)
+
+    def _assert_upper(self, var: int, bound: Fraction, tag: object) -> Optional[List[object]]:
+        current = self._upper.get(var)
+        if current is not None and bound >= current[0]:
+            return None  # not a tightening
+        lower = self._lower.get(var)
+        if lower is not None and bound < lower[0]:
+            return [tag, lower[1]]
+        self._trail.append(("ub", var, current))
+        self._upper[var] = (bound, tag)
+        self._dirty = True
+        if var not in self._rows:
+            if self._value[var] > bound:
+                self._update(var, bound)
+        elif self._value[var] > bound:
+            self._suspects.add(var)
+        return None
+
+    def _assert_lower(self, var: int, bound: Fraction, tag: object) -> Optional[List[object]]:
+        current = self._lower.get(var)
+        if current is not None and bound <= current[0]:
+            return None
+        upper = self._upper.get(var)
+        if upper is not None and bound > upper[0]:
+            return [tag, upper[1]]
+        self._trail.append(("lb", var, current))
+        self._lower[var] = (bound, tag)
+        self._dirty = True
+        if var not in self._rows:
+            if self._value[var] < bound:
+                self._update(var, bound)
+        elif self._value[var] < bound:
+            self._suspects.add(var)
+        return None
+
+    def _update(self, var: int, value: Fraction) -> None:
+        """Move a nonbasic variable, adjusting every dependent basic."""
+        delta = value - self._value[var]
+        self._value[var] = value
+        values = self._value
+        rows = self._rows
+        suspects = self._suspects
+        for basic in self._cols.get(var, ()):
+            values[basic] += rows[basic][var] * delta
+            suspects.add(basic)
+
+    # -- feasibility ---------------------------------------------------------
+
+    def check(self) -> Optional[List[object]]:
+        """Restore feasibility by pivoting; returns ``None`` when feasible
+        or the conflicting bounds' tags when not.
+
+        No-op when no bound changed since the last feasible check (the
+        assignment is still feasible).  Dead slack rows are collected
+        first so repair pivots never rewrite rows of retracted scopes.
+        """
+        if not self._dirty:
+            return None
+        self._collect_garbage()
+        conflict = self._repair()
+        if conflict is None:
+            conflict = self._check_neqs()
+        if conflict is None:
+            self._dirty = False
+        return conflict
+
+    def _repair(self) -> Optional[List[object]]:
+        """Bland-rule pivoting from the current basis until every basic
+        variable sits within its bounds.
+
+        Only *suspect* basics (value or bounds changed since last verified
+        in-bounds) are scanned; every mutation path maintains the
+        invariant that an out-of-bounds basic is a suspect.
+        """
+        values = self._value
+        rows = self._rows
+        lower = self._lower
+        upper = self._upper
+        suspects = self._suspects
+        while True:
+            broken = None
+            below = False
+            settled = []
+            for var in suspects:
+                if var not in rows:
+                    settled.append(var)  # became nonbasic: within bounds
+                    continue
+                low = lower.get(var)
+                if low is not None and values[var] < low[0]:
+                    if broken is None or var < broken:
+                        broken, below = var, True
+                    continue
+                high = upper.get(var)
+                if high is not None and values[var] > high[0]:
+                    if broken is None or var < broken:
+                        broken, below = var, False
+                    continue
+                settled.append(var)
+            for var in settled:
+                suspects.discard(var)
+            if broken is None:
+                return None
+            row = rows[broken]
+            pivot_col = None
+            for var in sorted(row):
+                coeff = row[var]
+                if (coeff > 0) == below:
+                    high = upper.get(var)
+                    if high is None or values[var] < high[0]:
+                        pivot_col = var
+                        break
+                else:
+                    low = lower.get(var)
+                    if low is None or values[var] > low[0]:
+                        pivot_col = var
+                        break
+            if pivot_col is None:
+                if below:
+                    conflict = [lower[broken][1]]
+                    for var, coeff in row.items():
+                        conflict.append(
+                            upper[var][1] if coeff > 0 else lower[var][1]
+                        )
+                else:
+                    conflict = [upper[broken][1]]
+                    for var, coeff in row.items():
+                        conflict.append(
+                            lower[var][1] if coeff > 0 else upper[var][1]
+                        )
+                return conflict
+            target = lower[broken][0] if below else upper[broken][0]
+            self._pivot_and_update(broken, pivot_col, target)
+
+    def _pivot_and_update(self, leaving: int, entering: int, target: Fraction) -> None:
+        self.pivots += 1
+        values = self._value
+        rows = self._rows
+        cols = self._cols
+        row = rows.pop(leaving)
+        coeff = row.pop(entering)
+        theta = (target - values[leaving]) / coeff
+        values[leaving] = target
+        values[entering] += theta
+        mentioning = cols.pop(entering, set())
+        mentioning.discard(leaving)
+        suspects = self._suspects
+        suspects.add(entering)
+        for basic in mentioning:
+            values[basic] += rows[basic][entering] * theta
+            suspects.add(basic)
+        # New defining row for the entering variable.
+        new_row: Dict[int, Fraction] = {leaving: Fraction(1) / coeff}
+        for var, inner in row.items():
+            new_row[var] = -inner / coeff
+            cols[var].discard(leaving)
+        rows[entering] = new_row
+        for var in new_row:
+            cols.setdefault(var, set()).add(entering)
+        # Substitute the entering variable out of every row that mentions it.
+        for basic in mentioning:
+            other = rows[basic]
+            factor = other.pop(entering)
+            for var, inner in new_row.items():
+                merged = other.get(var, Fraction(0)) + factor * inner
+                if merged == 0:
+                    if var in other:
+                        del other[var]
+                        cols.get(var, set()).discard(basic)
+                else:
+                    other[var] = merged
+                    cols.setdefault(var, set()).add(basic)
+
+    def _branch_satisfied(self, var: int, branch: Tuple) -> bool:
+        kind, bound = branch
+        value = self._value.get(var, Fraction(0))
+        return value <= bound if kind == "ub" else value >= bound
+
+    def _check_neqs(self) -> Optional[List[object]]:
+        """Case-split every disequality neither of whose ±1 branches the
+        current assignment satisfies (mirroring the one-shot solver, which
+        decides ``expr <= -1  or  expr >= 1`` rather than rational
+        ``!=``)."""
+        for index in range(len(self._neqs)):
+            var, tag, left, right = self._neqs[index]
+            if self._branch_satisfied(var, left) or self._branch_satisfied(var, right):
+                continue
+            conflict_tags: List[object] = [tag]
+            for kind, bound in (left, right):
+                saved = self.mark()
+                if kind == "ub":
+                    conflict = self._assert_upper(var, bound, tag)
+                else:
+                    conflict = self._assert_lower(var, bound, tag)
+                if conflict is None:
+                    conflict = self._repair()
+                if conflict is None:
+                    # The branch bound keeps this disequality satisfied while
+                    # the remaining ones are re-examined, so the recursion
+                    # retires at least one violation per level.
+                    conflict = self._check_neqs()
+                self.undo_to(saved)
+                if conflict is None:
+                    return None  # this branch is feasible
+                conflict_tags.extend(conflict)
+            return conflict_tags
+        return None
+

@@ -14,8 +14,15 @@ The search is conflict-driven clause learning in the MiniSat mould:
 * **two-watched-literal propagation** — each clause watches two of its
   literals, so an assignment only visits the clauses that might actually
   propagate; clauses whose selectors are inactive are never touched;
-* **1UIP conflict analysis** with clause learning and non-chronological
-  backjumping;
+* **1UIP conflict analysis** with clause learning, non-chronological
+  backjumping, and recursive self-subsumption minimization (Sörensson &
+  Biere) so learned clauses stay short enough to be worth keeping;
+* **a DPLL(T) theory hook** — ``solve(theory=...)`` syncs a theory
+  listener with the trail at every propagation fixpoint (per decision
+  level, not only on full assignments); the listener can veto the partial
+  assignment with an explained conflict clause, or propagate entailed
+  literals back as implications with reason clauses
+  (``repro.smt.solver`` plugs the incremental EUF+LIA theory in here);
 * **VSIDS-style decision scoring** with phase saving (unconstrained
   variables default to ``False``, which keeps guard clauses of inactive
   assumption selectors satisfied without search);
@@ -44,6 +51,10 @@ _CLA_RESCALE = 1e20
 #: Base restart interval in conflicts (multiplied by the Luby sequence).
 _RESTART_BASE = 100
 
+#: Sentinel returned by the theory-sync step when a theory conflict forced
+#: a level-0 lemma: the search must restart from the assumptions.
+_THEORY_RESTART = object()
+
 
 @dataclass
 class SatStatistics:
@@ -56,6 +67,12 @@ class SatStatistics:
     learned_clauses: int = 0
     gced_clauses: int = 0
     gc_runs: int = 0
+    #: literals deleted from 1UIP clauses by recursive self-subsumption
+    minimized_literals: int = 0
+    #: implications enqueued on behalf of the theory listener
+    theory_propagations: int = 0
+    #: conflicts raised by the theory listener (each learns a lemma)
+    theory_conflicts: int = 0
 
 
 @dataclass
@@ -63,16 +80,14 @@ class SatResult:
     """Outcome of a SAT call: ``satisfiable`` plus a model when it is.
 
     ``model`` assigns every variable the search knows about (clause and
-    assumption variables).  ``assigned`` is a *prime-implicant* subset:
-    permanent facts, the assumptions, and one true literal per problem
-    clause — restricted to it, the model still satisfies every clause, so
-    everything outside is a don't-care the caller's theory reasoning can
-    (and should) ignore.
+    assumption variables).  Under DPLL(T) every assigned atom was asserted
+    into (and accepted by) the theory listener, so no separate
+    prime-implicant restriction is reported: the whole model is vouched
+    for.
     """
 
     satisfiable: bool
     model: Dict[int, bool] = field(default_factory=dict)
-    assigned: FrozenSet[int] = frozenset()
 
 
 class _Clause:
@@ -130,6 +145,15 @@ class SatSolver:
         self._unsat = False
         self._num_clauses = 0
         self._max_learnts = max_learnts
+        #: lemmas received mid-search, integrated at the next return to
+        #: decision level 0 (see add_lemma()).
+        self._pending_lemmas: List[List[int]] = []
+        #: the DPLL(T) theory listener of the current solve (see solve()).
+        self._theory = None
+        self._theory_restarts = 0
+        #: per-solve cap on theory-conflict restarts (a diverging theory
+        #: loop raises instead of hanging; mirrors the old lazy-loop bound).
+        self.max_theory_restarts = 20000
         self.statistics = SatStatistics()
 
     # -- clause management -------------------------------------------------
@@ -144,7 +168,16 @@ class SatSolver:
             self._add(clause, learnt=False)
 
     def add_lemma(self, literals: Iterable[int]) -> None:
-        """Add a re-derivable clause subject to learned-clause GC."""
+        """Add a re-derivable clause subject to learned-clause GC.
+
+        Safe to call mid-search (a theory listener may emit lemmas while
+        the solver sits at a positive decision level): clause integration
+        treats assigned literals as permanent facts, so above level 0 the
+        clause is parked and integrated at the next cancel to level 0.
+        """
+        if self._trail_lim:
+            self._pending_lemmas.append(list(literals))
+            return
         self._add(literals, learnt=True)
 
     @property
@@ -220,6 +253,7 @@ class SatSolver:
         self,
         assumptions: Sequence[int] = (),
         decide: Optional[FrozenSet[int]] = None,
+        theory: Optional[object] = None,
     ) -> SatResult:
         """Search for a model of the stored clauses extended with the given
         assumption literals.
@@ -232,7 +266,20 @@ class SatSolver:
         satisfied by *some* extension — the incremental SMT backend's clause
         discipline (guarded encodings, theory-valid lemmas) provides that;
         general users should leave it ``None`` for complete search.
+
+        ``theory`` optionally attaches a DPLL(T) listener that is kept in
+        sync with the trail at every propagation fixpoint.  The listener
+        must expose ``synced`` (how many trail literals it has absorbed),
+        ``extend(new_literals)`` returning either ``("conflict", clause)``
+        — a clause over existing literals refuting the current assignment —
+        or ``("ok", propagations)`` with zero or more ``(literal,
+        reason_clause)`` implications (``reason_clause[0]`` being the
+        implied literal), and ``backtrack(count)`` to unwind to a trail
+        prefix.  Models returned with a theory attached are theory-
+        consistent over every asserted literal the listener recognized.
         """
+        self._theory = theory
+        self._theory_restarts = 0
         if self._unsat:
             return SatResult(False)
         self._decide = decide
@@ -278,9 +325,8 @@ class SatSolver:
         model = {}
         for lit in self._trail:
             model[lit if lit > 0 else -lit] = lit > 0
-        essential = self._prime_implicant(assumptions)
         self._cancel_until(0)
-        return SatResult(True, model, frozenset(essential))
+        return SatResult(True, model)
 
     def _assume_all(self, assumptions: Sequence[int]) -> bool:
         """Decide every not-yet-implied assumption (one level each);
@@ -298,44 +344,6 @@ class SatSolver:
                 return False
         return True
 
-    def _prime_implicant(self, assumptions: Sequence[int]) -> Set[int]:
-        """Variables whose values are *essential* to the model found.
-
-        Level-0 facts and the assumptions must hold in every extension;
-        beyond those, one true literal per satisfied problem clause is
-        greedily kept (preferring already-kept variables).  Learned clauses
-        and lemmas need no cover: they are consequences of the problem
-        clauses or of the caller's theory, so any extension of the cover
-        satisfies them.
-
-        At a conflict-free fixpoint the watched-literal invariant means a
-        clause with some true literal has a true *watched* literal (a false
-        watch forces the other watch true), so only the two watches are
-        inspected — clauses the search never touched (both watches
-        unassigned, under a ``decide`` cone) are exactly the ones the
-        caller's extension argument satisfies, and are skipped.
-        """
-        trail = self._trail
-        prefix = self._trail_lim[0] if self._trail_lim else len(trail)
-        essential = {abs(lit) for lit in trail[:prefix]}
-        essential.update(abs(lit) for lit in assumptions)
-        assign = self._assign
-        for clause in self._clauses:
-            lits = clause.lits
-            first = lits[0]
-            var0 = first if first > 0 else -first
-            second = lits[1]
-            var1 = second if second > 0 else -second
-            if assign[var0] == (first > 0):
-                if var0 not in essential:
-                    if assign[var1] == (second > 0) and var1 in essential:
-                        continue
-                    essential.add(var0)
-            elif assign[var1] == (second > 0):
-                if var1 not in essential:
-                    essential.add(var1)
-        return essential
-
     # -- search internals --------------------------------------------------
 
     def _search(self, nof_conflicts: int, root: int) -> Optional[bool]:
@@ -344,6 +352,12 @@ class SatSolver:
         conflicts = 0
         while True:
             confl = self._propagate()
+            if confl is None and self._theory is not None:
+                confl = self._theory_advance()
+                if confl is _THEORY_RESTART:
+                    # A theory conflict learned a lemma at level 0; restart
+                    # so the assumptions are re-established on top of it.
+                    return False if self._unsat else None
             if confl is not None:
                 conflicts += 1
                 self.statistics.conflicts += 1
@@ -430,6 +444,73 @@ class SatSolver:
             watches[falsified] = kept
         return None
 
+    def _theory_advance(self):
+        """Sync the theory listener with the trail at a propagation
+        fixpoint.  Returns ``None`` when the theory is consistent and in
+        sync, a conflicting :class:`_Clause` when a theory implication was
+        contradicted by clause propagation, or :data:`_THEORY_RESTART`
+        after a theory conflict forced a level-0 lemma."""
+        theory = self._theory
+        trail = self._trail
+        while theory.synced < len(trail):
+            outcome, payload = theory.extend(trail[theory.synced:])
+            if outcome == "conflict":
+                return self._theory_conflict(payload)
+            advanced = False
+            for lits in payload:
+                lit = lits[0]
+                var = lit if lit > 0 else -lit
+                value = self._assign[var] if var < len(self._assign) else None
+                if value == (lit > 0):
+                    continue  # already assigned as implied
+                if value is not None:
+                    # The implied literal is assigned false: the reason
+                    # clause refutes the current assignment.
+                    return self._theory_conflict(lits)
+                if len(lits) == 1:
+                    # Theory-valid unit: a permanent fact.
+                    return self._theory_conflict(lits)
+                self._attach_propagation(lits)
+                advanced = True
+            if advanced:
+                confl = self._propagate()
+                if confl is not None:
+                    return confl
+        return None
+
+    def _theory_conflict(self, lemma: Sequence[int]):
+        """Learn a theory-derived clause at level 0 and force a restart."""
+        self.statistics.theory_conflicts += 1
+        self._theory_restarts += 1
+        if self._theory_restarts > self.max_theory_restarts:
+            raise RuntimeError("theory conflict budget exhausted; giving up")
+        self._cancel_until(0)
+        self._add(lemma, learnt=True)
+        return _THEORY_RESTART
+
+    def _attach_propagation(self, lits: List[int]) -> None:
+        """Attach a theory implication (``lits[0]`` entailed by the falsity
+        of the rest) as a learnt clause and enqueue the entailed literal."""
+        self.statistics.theory_propagations += 1
+        for lit in lits:
+            var = lit if lit > 0 else -lit
+            self._ensure_capacity(var)
+            self._register(var)
+        level = self._level
+        high = 1
+        for k in range(2, len(lits)):
+            var = lits[k] if lits[k] > 0 else -lits[k]
+            best = lits[high] if lits[high] > 0 else -lits[high]
+            if level[var] > level[best]:
+                high = k
+        lits[1], lits[high] = lits[high], lits[1]
+        clause = _Clause(lits, learnt=True)
+        clause.activity = self._cla_inc
+        self._learnts.append(clause)
+        self._watches.setdefault(lits[0], []).append(clause)
+        self._watches.setdefault(lits[1], []).append(clause)
+        self._enqueue(lits[0], clause)
+
     def _enqueue(self, lit: int, reason: Optional[_Clause]) -> None:
         var = lit if lit > 0 else -lit
         self._assign[var] = lit > 0
@@ -478,7 +559,79 @@ class SatSolver:
             self._bump_clause(antecedent)
             reason_lits = antecedent.lits[1:]  # lits[0] is ``uip`` itself
         learnt[0] = -uip
+        # At this point ``seen`` holds exactly the below-current-level
+        # clause variables — the base set for redundancy.
+        if len(learnt) > 1:
+            learnt = self._minimize(learnt, seen)
+            bt_level = 0
+            for lit in learnt[1:]:
+                var = lit if lit > 0 else -lit
+                if level[var] > bt_level:
+                    bt_level = level[var]
         return learnt, bt_level
+
+    def _minimize(self, learnt: List[int], seen: Set[int]) -> List[int]:
+        """Recursive self-subsumption: drop every literal whose negation is
+        implied, through reason clauses, by the other clause literals and
+        level-0 facts alone (resolving it away self-subsumes)."""
+        memo: Dict[int, bool] = {}
+        kept = [learnt[0]]
+        removed = 0
+        for lit in learnt[1:]:
+            if self._redundant(lit if lit > 0 else -lit, seen, memo):
+                removed += 1
+            else:
+                kept.append(lit)
+        self.statistics.minimized_literals += removed
+        return kept
+
+    def _redundant(self, root: int, seen: Set[int], memo: Dict[int, bool]) -> bool:
+        """Does every reason-DAG path from ``root`` end in a clause variable
+        or a level-0 fact?  (Iterative DFS; the reason graph is acyclic
+        because antecedents sit strictly earlier on the trail.)"""
+        verdict = memo.get(root)
+        if verdict is not None:
+            return verdict
+        reason = self._reason
+        level = self._level
+        if reason[root] is None:
+            memo[root] = False
+            return False
+        stack: List[List[int]] = [[root, 0]]
+        while stack:
+            frame = stack[-1]
+            var = frame[0]
+            index = frame[1]
+            lits = reason[var].lits
+            child = 0
+            failed = False
+            while index < len(lits):
+                q = lits[index]
+                index += 1
+                qv = q if q > 0 else -q
+                if qv == var or level[qv] == 0 or qv in seen:
+                    continue
+                known = memo.get(qv)
+                if known is True:
+                    continue
+                if known is False or reason[qv] is None:
+                    memo[qv] = False
+                    failed = True
+                    break
+                child = qv
+                break
+            frame[1] = index
+            if failed:
+                # Every variable on the DFS path depends on this failure.
+                for entry in stack:
+                    memo[entry[0]] = False
+                return False
+            if child:
+                stack.append([child, 0])
+                continue
+            memo[var] = True
+            stack.pop()
+        return True
 
     def _record(self, learnt: List[int]) -> None:
         """Attach a freshly learned clause (length >= 2: unit learnts are
@@ -525,6 +678,13 @@ class SatSolver:
         self._qhead = bound
         self._cursor = 1
         self._decide_cursor = 0
+        theory = self._theory
+        if theory is not None and theory.synced > bound:
+            theory.backtrack(bound)
+        if target == 0 and self._pending_lemmas:
+            pending, self._pending_lemmas = self._pending_lemmas, []
+            for clause in pending:
+                self._add(clause, learnt=True)
 
     def _pick_branch(self) -> Optional[int]:
         assign = self._assign

@@ -1,12 +1,20 @@
-"""The lazy CDCL(T) satisfiability solver.
+"""The DPLL(T) satisfiability solver.
 
 This is the replacement for Z3 used by the original Synquid: a
 propositional CDCL core (:mod:`repro.smt.sat`) explores the boolean
-structure of the query, and every complete assignment is checked against
-the combined EUF + LIA theory solver.  Conflicting assignments are
-generalized by QuickXplain-style minimization and blocked, until either a
-theory-consistent assignment is found (SAT) or the propositional
-abstraction is exhausted (UNSAT).
+structure of the query while a persistent, backtrackable EUF + LIA theory
+solver (:class:`repro.smt.theory.IncrementalTheory`) shadows its trail.
+At every propagation fixpoint the newly assigned theory atoms are
+asserted into the theory — per decision level, not only on complete
+assignments — so inconsistent branches are refuted while they are still
+partial; the theory also *propagates*, pushing atom values it can already
+entail (LIA bound subsumption, congruence-entailed equalities) back into
+the SAT trail as implications with reason clauses.  Theory conflicts are
+explained (simplex bound tags) or QuickXplain-minimized, learned as
+lemmas, and additionally *generalized*: lemmas are keyed by their
+alpha-canonical renaming, so a structurally identical conflict over fresh
+type variables is answered by instantiating the stored lemma instead of a
+new theory refutation.
 
 Two entry points share that loop:
 
@@ -41,29 +49,33 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..logic import ops
 from ..logic.formulas import (
+    App,
     Binary,
     BinaryOp,
     BoolLit,
     Formula,
     Ite,
+    SetLit,
     Unary,
     UnaryOp,
+    Var,
     intern_formula,
     is_false,
     is_true,
 )
 from ..logic.simplify import negation_normal_form, simplify
 from ..logic.sorts import BoolSort
+from ..logic.substitution import rename
 from ..logic.transform import transform
 from .interface import SolverBackend
 from .names import FreshNames
 from .sat import SatSolver
 from .sets import eliminate_sets, mentions_sets
-from .theory import Literal, TheoryChecker
+from .theory import Conflict, IncrementalTheory, Literal, TheoryChecker
 
 
 @dataclass
@@ -87,6 +99,16 @@ class SolverStatistics:
     restarts: int = 0
     learned_clauses: int = 0
     gced_clauses: int = 0
+    #: Implications the theory pushed into the SAT trail (DPLL(T)).
+    theory_propagations: int = 0
+    #: Theory conflicts raised against (partial) assignments.
+    theory_conflicts: int = 0
+    #: Pivots performed by the persistent simplex tableau.
+    tableau_pivots: int = 0
+    #: Lemma clauses instantiated from alpha-canonical generalizations.
+    lemmas_generalized: int = 0
+    #: Literals removed from learned clauses by self-subsumption.
+    minimized_literals: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -255,6 +277,122 @@ class TseitinEncoder:
 # ---------------------------------------------------------------------------
 
 
+class _TheoryBridge:
+    """Adapts :class:`IncrementalTheory` to the :class:`SatSolver` DPLL(T)
+    listener protocol.
+
+    One theory scope is pushed per ``extend`` batch (the trail literals
+    assigned since the last propagation fixpoint), so a batch costs one
+    undo frame no matter how many Tseitin auxiliaries it carries.  The
+    solver only ever backtracks to propagation fixpoints, which are batch
+    starts; a backjump that lands inside a batch (assumption levels share
+    one batch) pops the whole batch and the next ``extend`` re-asserts the
+    surviving prefix verbatim.  On success, the entailed values of
+    watched, still-unassigned atoms are reported as implications.
+    """
+
+    def __init__(self, owner: "IncrementalSolver") -> None:
+        self._owner = owner
+        self.theory = IncrementalTheory()
+        #: trail literals absorbed so far (the SatSolver protocol field).
+        self.synced = 0
+        #: trail position at which each open theory scope began.
+        self._marks: List[int] = []
+        #: watched atom variables of the current solve's decision cone.
+        self._watch_vars: List[int] = []
+        #: incremental theory checks performed (one per literal batch).
+        self.checks = 0
+
+    def begin(self, cone) -> None:
+        """Start a solve over the given decision cone."""
+        theory = self.theory
+        self._watch_vars = [v for v in cone if theory.is_watched(v)]
+
+    def backtrack(self, count: int) -> None:
+        theory = self.theory
+        marks = self._marks
+        while marks and self.synced > count:
+            theory.pop()
+            self.synced = marks.pop()
+
+    def extend(self, new_literals: Sequence[int]):
+        owner = self._owner
+        theory = self.theory
+        self._marks.append(self.synced)
+        theory.push()
+        self.synced += len(new_literals)
+        var_atoms = owner._encoder._var_atoms
+        touched = False
+        for lit in new_literals:
+            atom = var_atoms.get(lit if lit > 0 else -lit)
+            if atom is None:
+                continue
+            touched = True
+            conflict = theory.assert_literal(Literal(atom, lit > 0))
+            if conflict is not None:
+                # The remaining batch is left unasserted: a conflict report
+                # always backtracks the trail, popping this whole scope.
+                return "conflict", owner._theory_conflict_clause(conflict)
+        if not touched:
+            return "ok", ()
+        self.checks += 1
+        conflict = theory.check()
+        if conflict is not None:
+            return "conflict", owner._theory_conflict_clause(conflict)
+        return "ok", self._implications()
+
+    def _implications(self) -> Sequence[List[int]]:
+        """Reason clauses for entailed values of unassigned watched atoms."""
+        assign = self._owner._sat._assign
+        top = len(assign)
+        unassigned = [v for v in self._watch_vars if v >= top or assign[v] is None]
+        if not unassigned:
+            return ()
+        atom_vars = self._owner._encoder._atom_vars
+        implications: List[List[int]] = []
+        for payload, polarity, reasons in self.theory.propagate(unassigned):
+            lit = payload if polarity else -payload
+            clause = [lit]
+            seen = {lit}
+            for reason in reasons:
+                reason_var = atom_vars[reason.atom]
+                reason_lit = -reason_var if reason.polarity else reason_var
+                if reason_lit not in seen:
+                    seen.add(reason_lit)
+                    clause.append(reason_lit)
+            implications.append(clause)
+        return implications
+
+
+def _ordered_free_vars(formula: Formula, out: List[str], seen: Set[str]) -> None:
+    """Collect free variable names in deterministic first-occurrence order
+    (structural left-to-right traversal)."""
+    if isinstance(formula, Var):
+        if formula.name not in seen:
+            seen.add(formula.name)
+            out.append(formula.name)
+    elif isinstance(formula, Unary):
+        _ordered_free_vars(formula.arg, out, seen)
+    elif isinstance(formula, Binary):
+        _ordered_free_vars(formula.lhs, out, seen)
+        _ordered_free_vars(formula.rhs, out, seen)
+    elif isinstance(formula, Ite):
+        _ordered_free_vars(formula.cond, out, seen)
+        _ordered_free_vars(formula.then_, out, seen)
+        _ordered_free_vars(formula.else_, out, seen)
+    elif isinstance(formula, App):
+        for arg in formula.args:
+            _ordered_free_vars(arg, out, seen)
+    elif isinstance(formula, SetLit):
+        for element in formula.elements:
+            _ordered_free_vars(element, out, seen)
+
+
+#: Theory lemmas longer than this are not alpha-generalized (wide conflicts
+#: rarely recur under renaming, and indexing them is all cost).
+_GENERALIZE_LIMIT = 8
+
+
 class IncrementalSolver(SolverBackend):
     """Assumption-literal based incremental CDCL(T) solver.
 
@@ -312,6 +450,22 @@ class IncrementalSolver(SolverBackend):
         #: atoms of the encoder's log already linked.
         self._linked_atoms = 0
         self._frames: List[List[int]] = [[]]
+        #: the persistent DPLL(T) theory, shadowing the SAT trail.
+        self._bridge = _TheoryBridge(self)
+        self._sat.max_theory_restarts = self.MAX_ITERATIONS
+        #: atom -> (alpha-canonical form, variable names in canonical order).
+        self._canon_cache: Dict[Formula, Tuple[Formula, Tuple[str, ...]]] = {}
+        #: canonical atom -> interned atoms sharing that shape.
+        self._atoms_by_canon: Dict[Formula, List[Formula]] = {}
+        #: (canonical atom, variable order) -> the interned atom, so lemma
+        #: instantiation is pure dictionary lookup (no formula renaming).
+        self._atom_by_shape: Dict[Tuple[Formula, Tuple[str, ...]], Formula] = {}
+        #: canonical atom -> [(anchor var order, lemma literals)] entries.
+        self._lemma_index: Dict[Formula, List[Tuple[Tuple[str, ...], Tuple]]] = {}
+        #: whole-lemma canonical keys already generalized.
+        self._lemma_keys: Set[Tuple] = set()
+        #: instantiated lemma clauses already emitted (dedup).
+        self._emitted_instances: Set[frozenset] = set()
         self.statistics = statistics if statistics is not None else SolverStatistics()
 
     # -- SolverBackend -------------------------------------------------------
@@ -399,41 +553,56 @@ class IncrementalSolver(SolverBackend):
     # -- internals -----------------------------------------------------------
 
     def _solve_active(self) -> Optional[Tuple[Dict[int, bool], frozenset]]:
-        """The lazy CDCL(T) loop over the persistent SAT core.
+        """One DPLL(T) solve over the persistent SAT core.
 
-        Returns ``(model, checked_atoms)`` — the propositional model of a
-        theory-consistent assignment plus the atom variables the theory
-        checker actually vouched for — or ``None`` when the active scope is
+        The theory bridge shadows the SAT trail, so a satisfiable verdict
+        is already theory-consistent over every asserted atom — the old
+        guess-check-block outer loop is gone.  Returns ``(model,
+        checked_atoms)``: the model plus the active atom variables the
+        theory vouched for, or ``None`` when the active scope is
         unsatisfiable.
         """
         self.statistics.sat_queries += 1
         assumptions = [lit for frame in self._frames for lit in frame]
         active_atoms = frozenset(self._active_atom_counts)
-        sat = self._sat
+        self._bridge.begin(active_atoms)
         try:
-            for _ in range(self.MAX_ITERATIONS):
-                result = sat.solve(assumptions, decide=active_atoms)
-                if not result.satisfiable:
-                    return None
-                # Only atoms the model *needs* (the prime implicant of the
-                # live assertions) constrain the theory; everything else is
-                # a don't-care.
-                restrict = active_atoms & result.assigned
-                literals = self._encoder.theory_literals(result.model, restrict)
-                self.statistics.theory_checks += 1
-                if self._theory.is_consistent(literals):
-                    return result.model, restrict
-                conflict = _shrink_conflict(self._theory, literals, self.statistics)
-                sat.add_lemma(
-                    [
-                        -self._encoder.atom_variable(lit.atom) if lit.polarity
-                        else self._encoder.atom_variable(lit.atom)
-                        for lit in conflict
-                    ]
-                )
+            result = self._sat.solve(assumptions, decide=active_atoms, theory=self._bridge)
         finally:
             self._sync_sat_statistics()
-        raise RuntimeError("SMT solver exceeded its iteration budget")
+        if not result.satisfiable:
+            return None
+        # Every assigned atom was asserted into (and accepted by) the
+        # theory; the active ones are what probe evaluation may trust.
+        checked = frozenset(
+            variable for variable in active_atoms if variable in result.model
+        )
+        return result.model, checked
+
+    def _theory_conflict_clause(self, conflict: Conflict) -> List[int]:
+        """Turn a theory conflict into a blocking clause (and generalize it).
+
+        Explained conflicts (simplex bound tags) are near-minimal already;
+        unexplained ones (congruence, Nelson–Oppen) are QuickXplain-shrunk
+        against the stateless checker before blocking.
+        """
+        literals, explained = conflict
+        if not explained:
+            literals = _shrink_conflict(self._theory, literals, self.statistics)
+        atom_variable = self._encoder.atom_variable
+        clause: List[int] = []
+        seen: Set[int] = set()
+        for literal in literals:
+            lit = (
+                -atom_variable(literal.atom)
+                if literal.polarity
+                else atom_variable(literal.atom)
+            )
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        self._generalize_lemma(literals)
+        return clause
 
     def _sync_sat_statistics(self) -> None:
         stats, sat_stats = self.statistics, self._sat.statistics
@@ -442,6 +611,119 @@ class IncrementalSolver(SolverBackend):
         stats.restarts = sat_stats.restarts
         stats.learned_clauses = sat_stats.learned_clauses
         stats.gced_clauses = sat_stats.gced_clauses
+        stats.minimized_literals = sat_stats.minimized_literals
+        stats.theory_propagations = sat_stats.theory_propagations
+        stats.theory_conflicts = sat_stats.theory_conflicts
+        stats.theory_checks = self._bridge.checks
+        stats.tableau_pivots = self._bridge.theory.simplex.pivots
+
+    # -- lemma generalization ------------------------------------------------
+
+    def _canonical_atom(self, atom: Formula) -> Tuple[Formula, Tuple[str, ...]]:
+        """The atom with its free variables alpha-renamed in first-occurrence
+        order, plus the original names in that order.  Two atoms have equal
+        canonical forms iff one is a variable renaming of the other (with
+        matching sorts, since renaming preserves each variable's sort)."""
+        cached = self._canon_cache.get(atom)
+        if cached is None:
+            names: List[str] = []
+            _ordered_free_vars(atom, names, set())
+            if names:
+                mapping = {name: f"?c{i}" for i, name in enumerate(names)}
+                canon = intern_formula(rename(atom, mapping))
+            else:
+                canon = atom
+            cached = (canon, tuple(names))
+            self._canon_cache[atom] = cached
+        return cached
+
+    def _generalize_lemma(self, literals: Sequence[Literal]) -> None:
+        """Index a theory conflict by its alpha-canonical form and emit its
+        instances over already-interned renamed atoms.
+
+        A conflict is a theory-unsatisfiable conjunction; any uniform
+        variable renaming of it is equally unsatisfiable, so its blocking
+        clause may be replayed under every renaming whose atoms exist in
+        the encoder.  The synthesizer's fresh ``_tvN`` instantiations hit
+        exactly this: structurally identical conflicts that previously each
+        cost a theory refutation now propagate propositionally.
+        """
+        if not literals or len(literals) > _GENERALIZE_LIMIT:
+            return
+        atom_vars = self._encoder._atom_vars
+        if any(lit.atom not in atom_vars for lit in literals):
+            return
+        ordered = sorted(literals, key=lambda lit: atom_vars[lit.atom])
+        names: List[str] = []
+        seen_names: Set[str] = set()
+        for lit in ordered:
+            _ordered_free_vars(lit.atom, names, seen_names)
+        if not names:
+            return
+        mapping = {name: f"?g{i}" for i, name in enumerate(names)}
+        key = tuple(
+            (intern_formula(rename(lit.atom, mapping)), lit.polarity) for lit in ordered
+        )
+        if key in self._lemma_keys:
+            return
+        self._lemma_keys.add(key)
+        lemma = tuple((lit.atom, lit.polarity) for lit in ordered)
+        anchored: Set[Formula] = set()
+        for lit in ordered:
+            if lit.atom in anchored:
+                continue
+            anchored.add(lit.atom)
+            canon, order = self._canonical_atom(lit.atom)
+            entry = (order, lemma)
+            self._lemma_index.setdefault(canon, []).append(entry)
+            # Replay against renamed atoms interned before this lemma.
+            for existing in self._atoms_by_canon.get(canon, ()):
+                self._instantiate_entry(entry, self._canonical_atom(existing)[1])
+
+    def _instantiate_entry(
+        self, entry: Tuple[Tuple[str, ...], Tuple], new_order: Tuple[str, ...]
+    ) -> None:
+        """Emit one lemma instance: rename the anchor's variables to the new
+        atom's and block the renamed conjunction — provided every renamed
+        atom is already interned (no new atoms are invented).
+
+        Renamed atoms are found by (canonical shape, renamed variable
+        order) lookup rather than by building the renamed formula, so a
+        replay attempt costs dictionary probes only.  Instances whose
+        renaming collapses distinct variables change an atom's canonical
+        shape and are not found — such degenerate instances are skipped
+        (a completeness trade, never a soundness one).
+        """
+        var_order, lemma = entry
+        if len(var_order) != len(new_order):
+            return
+        substitution = {
+            old: new for old, new in zip(var_order, new_order) if old != new
+        }
+        if not substitution:
+            return  # the identity instance is the original blocking clause
+        atom_vars = self._encoder._atom_vars
+        atom_by_shape = self._atom_by_shape
+        clause: List[int] = []
+        for lemma_atom, polarity in lemma:
+            canon, order = self._canonical_atom(lemma_atom)
+            instance_order = tuple(substitution.get(name, name) for name in order)
+            if instance_order == order:
+                instance = lemma_atom
+            else:
+                instance = atom_by_shape.get((canon, instance_order))
+                if instance is None:
+                    return
+            variable = atom_vars.get(instance)
+            if variable is None:
+                return
+            clause.append(-variable if polarity else variable)
+        dedup = frozenset(clause)
+        if dedup in self._emitted_instances:
+            return
+        self._emitted_instances.add(dedup)
+        self._sat.add_lemma(clause)
+        self.statistics.lemmas_generalized += 1
 
     def _make_selector(self, formula: Formula) -> Optional[int]:
         self.statistics.encoded_assertions += 1
@@ -492,6 +774,15 @@ class IncrementalSolver(SolverBackend):
         while self._linked_atoms < len(log):
             atom, variable = log[self._linked_atoms]
             self._linked_atoms += 1
+            # Register for theory propagation and alpha-canonical lemma
+            # replay: a generalized conflict stored under this atom's shape
+            # is instantiated here, at interning time.
+            self._bridge.theory.watch_atom(atom, variable)
+            canon, order = self._canonical_atom(atom)
+            self._atoms_by_canon.setdefault(canon, []).append(atom)
+            self._atom_by_shape[(canon, order)] = atom
+            for entry in self._lemma_index.get(canon, ()):
+                self._instantiate_entry(entry, order)
             decomposed = _comparison_parts(atom)
             if decomposed is None:
                 continue

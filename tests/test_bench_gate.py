@@ -55,6 +55,53 @@ class TestCompare:
         assert any("not measured" in note for note in skipped)
 
 
+class TestCounterDrift:
+    def test_tracked_counter_changes_are_reported(self):
+        baseline = {"case": {"theory_propagations": 10, "tableau_pivots": 5}}
+        candidate = {"case": {"theory_propagations": 12, "tableau_pivots": 5}}
+        notes = gate.counter_drift(baseline, candidate)
+        assert notes == ["case.theory_propagations 10->12"]
+
+    def test_untracked_counters_are_ignored(self):
+        notes = gate.counter_drift(
+            {"case": {"sat_queries": 100}}, {"case": {"sat_queries": 999}}
+        )
+        assert notes == []
+
+    def test_newly_appearing_tracked_counter_is_drift(self):
+        """A counter present on only one side (e.g. a schema extension)
+        reads as None on the other — visible, but still report-only."""
+        notes = gate.counter_drift({"case": {}}, {"case": {"lemmas_generalized": 3}})
+        assert notes == ["case.lemmas_generalized None->3"]
+
+    def test_one_sided_cases_produce_no_drift(self):
+        notes = gate.counter_drift(
+            {"old": {"tableau_pivots": 1}}, {"new": {"tableau_pivots": 2}}
+        )
+        assert notes == []
+
+    def test_drift_never_fails_the_gate(self, tmp_path, capsys, monkeypatch):
+        payload = lambda pivots: {  # noqa: E731
+            "suite": "test",
+            "benchmarks": [
+                {"name": "case", "mean_s": 0.010, "counters": {"tableau_pivots": pivots}}
+            ],
+        }
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(payload(5)))
+        candidate = tmp_path / "cand.json"
+        candidate.write_text(json.dumps(payload(9)))
+        monkeypatch.setattr(
+            "sys.argv",
+            ["gate", "--baseline", str(baseline), "--candidate", str(candidate)],
+        )
+        assert gate.main() == 0
+        summary = capsys.readouterr().out.strip()
+        assert summary.count("\n") == 0, "gate must print exactly one line"
+        assert "OK" in summary
+        assert "counter drift (report-only): case.tableau_pivots 5->9" in summary
+
+
 class TestEndToEnd:
     def test_main_exit_codes_and_summary(self, tmp_path, capsys, monkeypatch):
         baseline = report(tmp_path / "base.json", case=0.010)
@@ -95,5 +142,16 @@ class TestEndToEnd:
             "smt.pigeonhole-6",
             "smt.horn-chain",
             "smt.assumption-churn",
+            "smt.lia-chain",
             "smt.stutter-deep",
         } == set(smt)
+
+    def test_committed_smt_baseline_exercises_new_counters(self):
+        """At least one committed benchmark must witness theory propagation
+        and lemma generalization actually firing."""
+        root = SCRIPT.parent.parent
+        smt = gate.load_counters(root / "BENCH_smt.json")
+        synth = gate.load_counters(root / "BENCH_synth.json")
+        cases = {**smt, **synth}.values()
+        assert any(c.get("theory_propagations", 0) > 0 for c in cases)
+        assert any(c.get("lemmas_generalized", 0) > 0 for c in cases)
