@@ -24,7 +24,13 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import benchlib  # noqa: E402
 
-from repro.horn import HornSolver, build_space, constraint  # noqa: E402
+from repro.horn import (  # noqa: E402
+    HornSolver,
+    QualifierSpace,
+    SolveOptions,
+    build_space,
+    constraint,
+)
 from repro.logic import ops  # noqa: E402
 from repro.logic.formulas import IntLit, Unknown, value_var  # noqa: E402
 from repro.logic.qualifiers import default_qualifiers  # noqa: E402
@@ -58,11 +64,30 @@ def abs_horn_system():
     return constraints, [space]
 
 
+def disjunctive_horn_system():
+    """A guard whose weakest consistent strengthening is disjunctive over
+    the pool: single-candidate (greedy) search dead-ends on it, so solving
+    exercises MUS enumeration and candidate pruning (see test_horn.py)."""
+    zero, one, neg_one = IntLit(0), IntLit(1), IntLit(-1)
+    guard_pool = (ops.ge(x, zero), ops.ge(x, one), ops.le(x, zero), ops.le(x, neg_one))
+    spaces = {
+        "C": QualifierSpace("C", guard_pool, abducible=True),
+        "P": QualifierSpace("P", (ops.le(nu, zero), ops.ge(nu, zero))),
+    }
+    constraints = [
+        constraint([Unknown("C")], ops.neq(x, zero), "nonzero"),
+        constraint([Unknown("C")], ops.le(x, zero), "nonpositive"),
+        constraint([Unknown("C"), ops.eq(nu, x)], Unknown("P"), "flow"),
+        constraint([Unknown("P")], ops.le(nu, zero), "use"),
+    ]
+    return constraints, spaces
+
+
 def run_horn(system_builder):
     constraints, spaces = system_builder()
     solver = HornSolver()
     start = time.perf_counter()
-    solution = solver.solve(constraints, spaces, minimize=True)
+    solution = solver.solve(constraints, spaces, SolveOptions(minimize=True))
     elapsed = time.perf_counter() - start
     assert solution.solved, "benchmark system must be solvable"
     return elapsed, {
@@ -70,6 +95,22 @@ def run_horn(system_builder):
         "fixpoint_rounds": solver.statistics.fixpoint_rounds,
         "pruned_qualifiers": solver.statistics.pruned_qualifiers,
         "sat_queries": solver.backend.statistics.sat_queries,
+    }
+
+
+def run_candidate_search(workers):
+    constraints, spaces = disjunctive_horn_system()
+    solver = HornSolver()
+    start = time.perf_counter()
+    solution = solver.solve(constraints, spaces, SolveOptions(max_workers=workers))
+    elapsed = time.perf_counter() - start
+    assert solution.solved, "disjunctive benchmark system must be solvable"
+    return elapsed, {
+        "candidates_explored": solver.statistics.candidates_explored,
+        "candidates_pruned": solver.statistics.candidates_pruned,
+        "muses_enumerated": solver.statistics.muses_enumerated,
+        "lemmas_shared": solver.statistics.lemmas_shared,
+        "survivors": len(solution.candidates),
     }
 
 
@@ -85,7 +126,7 @@ def run_typecheck_max():
     session.check(env, term, sig, where="max")
     spec = parse_type("x:Int -> y:Int -> {Int | nu >= x && nu >= y}")
     session.subtype(env, sig, spec, where="max-spec")
-    outcome = session.solve(minimize=True)
+    outcome = session.solve(SolveOptions(minimize=True))
     elapsed = time.perf_counter() - start
     assert outcome.solved
     return elapsed, {
@@ -107,7 +148,7 @@ def run_typecheck_abs():
     sig = arrow("x", int_type(), result)
     session.check(env, term, sig, where="abs")
     session.subtype(env, sig, parse_type("x:Int -> {Int | nu >= 0}"), "abs-spec")
-    outcome = session.solve(minimize=True)
+    outcome = session.solve(SolveOptions(minimize=True))
     elapsed = time.perf_counter() - start
     assert outcome.solved
     return elapsed, {
@@ -120,6 +161,8 @@ def run_typecheck_abs():
 BENCHMARKS = {
     "horn.max": lambda: run_horn(max_horn_system),
     "horn.abs": lambda: run_horn(abs_horn_system),
+    "horn.disjunctive": lambda: run_candidate_search(workers=1),
+    "horn.disjunctive.workers2": lambda: run_candidate_search(workers=2),
     "typecheck.max": run_typecheck_max,
     "typecheck.abs": run_typecheck_abs,
 }

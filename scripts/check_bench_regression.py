@@ -41,6 +41,9 @@ TRACKED_COUNTERS = (
     "tableau_pivots",
     "lemmas_generalized",
     "minimized_literals",
+    "muses_enumerated",
+    "candidates_pruned",
+    "lemmas_shared",
 )
 
 

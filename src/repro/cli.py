@@ -20,6 +20,7 @@ import argparse
 import sys
 from typing import List, Optional, TextIO
 
+from .horn.solver import SolveOptions
 from .syntax.parser import ParseError, Program, parse_program
 from .syntax.types import generalize
 from .synth.synthesizer import SynthesisGoal, Synthesizer, describe_goal
@@ -69,14 +70,15 @@ def _component_environment(program: Program, upto: str):
     return session, env
 
 
-def _run_check(program: Program, path: str, out: TextIO) -> int:
+def _run_check(program: Program, path: str, args, out: TextIO) -> int:
+    options = SolveOptions(max_workers=args.workers)
     failures = 0
     for name, term in program.definitions.items():
         session, env = _component_environment(program, name)
         goal = program.signatures[name]
         try:
             session.check_program(term, goal, env, where=name)
-            outcome = session.solve()
+            outcome = session.solve(options)
         except TypecheckError as error:
             print(f"{name}: REJECTED — {error}", file=out)
             failures += 1
@@ -152,6 +154,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "check", help="type-check every definition in a .sq file against its signature"
     )
     check.add_argument("file", help="the .sq source file")
+    check.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the candidate-set Horn portfolio (default 1 = serial)",
+    )
     synth = commands.add_parser("synth", help="synthesize every `name = ??` goal in a .sq file")
     synth.add_argument("file", help="the .sq source file")
     synth.add_argument(
@@ -192,7 +201,7 @@ def main(argv: Optional[List[str]] = None, out: TextIO = sys.stdout) -> int:
     try:
         program = _load_program(args.file)
         if args.command == "check":
-            return _run_check(program, args.file, out)
+            return _run_check(program, args.file, args, out)
         return _run_synth(program, args.file, args, out)
     except _CliError as error:
         print(f"error: {error}", file=sys.stderr)

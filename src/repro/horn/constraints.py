@@ -15,10 +15,13 @@ constraint valid.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Optional, Tuple
+from typing import FrozenSet, Iterable, Mapping, Optional, Tuple
 
 from ..logic.formulas import Formula, Unknown
+from ..logic.substitution import substitute
+from ..logic.transform import transform
 from ..logic.transform import unknowns as formula_unknowns
 
 
@@ -26,17 +29,17 @@ from ..logic.transform import unknowns as formula_unknowns
 class HornConstraint:
     """``premises ==> conclusion`` with unknowns on either side.
 
-    ``label`` is free-form provenance (e.g. the program location that
-    produced the constraint) surfaced in diagnostics.  ``provenance`` is
-    the structured form the type checker emits: the trail of judgments
-    (program location, branch, subtyping obligation) that produced the
-    constraint, outermost first, so an unsolvable system can name the
-    failing obligation precisely (see :meth:`origin`).
+    ``provenance`` is the structured diagnostics trail the type checker
+    emits: the judgments (program location, branch, subtyping obligation)
+    that produced the constraint, outermost first, so an unsolvable system
+    can name the failing obligation precisely.  :meth:`origin` is the
+    single diagnostics entry point; the free-form ``label`` string that
+    used to sit next to the trail is folded into it (a bare tag becomes a
+    one-element trail) and survives only as a deprecated alias property.
     """
 
     premises: Tuple[Formula, ...]
     conclusion: Formula
-    label: str = ""
     provenance: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
@@ -70,18 +73,39 @@ class HornConstraint:
         names |= formula_unknowns(self.conclusion)
         return frozenset(names)
 
+    def concrete_premises(self) -> Tuple[Formula, ...]:
+        """The unknown-free premises — the hard facts that hold regardless
+        of any valuation.  MUS enumeration checks tentative valuations of
+        premise-position unknowns for consistency against exactly these."""
+        return tuple(p for p in self.premises if not formula_unknowns(p))
+
     # -- diagnostics ---------------------------------------------------------
 
     def origin(self) -> str:
-        """Where this constraint came from, for error messages: the
-        provenance trail when present, else the label, else a placeholder."""
+        """Where this constraint came from, for error messages: the joined
+        provenance trail, or a placeholder when there is none."""
         if self.provenance:
             return " / ".join(self.provenance)
-        return self.label or "<unlabeled constraint>"
+        return "<unlabeled constraint>"
+
+    @property
+    def label(self) -> str:
+        """Deprecated alias for the innermost provenance entry.
+
+        The free-form label field was folded into ``provenance``; use
+        :meth:`origin` for diagnostics.
+        """
+        warnings.warn(
+            "HornConstraint.label is deprecated; use origin() (the label was "
+            "folded into the provenance trail)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.provenance[-1] if self.provenance else ""
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         lhs = " && ".join(repr(p) for p in self.premises) or "True"
-        tag = f"  [{self.label}]" if self.label else ""
+        tag = f"  [{self.origin()}]" if self.provenance else ""
         return f"{lhs} ==> {self.conclusion!r}{tag}"
 
 
@@ -91,5 +115,45 @@ def constraint(
     label: str = "",
     provenance: Tuple[str, ...] = (),
 ) -> HornConstraint:
-    """Convenience constructor accepting any iterable of premises."""
-    return HornConstraint(tuple(premises), conclusion, label, provenance)
+    """Convenience constructor accepting any iterable of premises.
+
+    ``label`` is a provenance shorthand: a bare tag is appended to the
+    trail, so ``constraint(ps, c, "spec")`` means
+    ``HornConstraint(ps, c, provenance=("spec",))``.
+    """
+    trail = provenance + (label,) if label else provenance
+    return HornConstraint(tuple(premises), conclusion, trail)
+
+
+def substitute_unknowns(
+    constr: HornConstraint, valuations: Mapping[str, Formula]
+) -> HornConstraint:
+    """``constr`` with the named unknowns replaced by concrete formulas.
+
+    Each occurrence's pending substitution is applied to the replacement,
+    so ``P[x := e]`` grounds to the valuation with ``e`` in place of ``x``.
+    Unknowns not named in ``valuations`` are left untouched.  The candidate
+    search uses this to fix a candidate's abducible valuations before
+    running the greatest-fixpoint core; condition abduction uses it to try
+    a tentative guard.
+    """
+
+    def ground(formula: Formula) -> Formula:
+        def replace(node: Formula) -> Formula:
+            if isinstance(node, Unknown) and node.name in valuations:
+                body = valuations[node.name]
+                if node.substitution:
+                    body = substitute(body, dict(node.substitution))
+                return body
+            return node
+
+        return transform(formula, replace)
+
+    conclusion = constr.conclusion
+    if isinstance(conclusion, Unknown) and conclusion.name in valuations:
+        conclusion = ground(conclusion)
+    return HornConstraint(
+        tuple(ground(premise) for premise in constr.premises),
+        conclusion,
+        constr.provenance,
+    )

@@ -1,0 +1,317 @@
+"""MUSFix: MARCO-style enumeration of minimal unsatisfiable subsets.
+
+The candidate-set Horn search (Sec. 5 of the paper) prunes its frontier
+wholesale: when a definite constraint fails under a candidate, the subsets
+of an abducible unknown's qualifier space that are *inconsistent with the
+constraint's concrete premises* can never be part of any solution — a
+guard containing them is unestablishable where the constraint demands it,
+so the constraint could only ever be satisfied vacuously.  Those doomed
+regions are summarized by their minimal elements: **minimal unsatisfiable
+subsets** (MUSes) of the qualifier pool relative to the constraint's
+unknown-free premises.  Every candidate whose valuation contains a known
+MUS is dropped without a single theory query.
+
+Enumeration is the MARCO algorithm (Liffiton et al.): a propositional
+"map" solver — one persistent :class:`repro.smt.sat.SatSolver` per
+(constraint, pool) pair, variable *i* meaning "qualifier *i* is in the
+subset" — proposes unexplored seeds.  Each seed is checked against the
+theory through the shared incremental backend: a consistent seed is
+*grown* into a maximal satisfiable subset (MSS) and the map learns that
+every future seed must leave the MSS (at least one variable outside it is
+true); an inconsistent seed is *shrunk* by linear deletion into a MUS,
+which is recorded and blocked (at least one of its members is false).
+Blocking clauses carve the power set down monotonically, so seeds never
+repeat and the map going unsatisfiable means the lattice is exhausted.
+Enumeration is budgeted (``mus_budget`` theory checks per pool) and
+resumable: the map solver keeps its blocking clauses, so a later failure
+of the same constraint continues where the last call stopped.
+
+MUSes double as the portfolio's shared lemmas: they mention only the
+constraint and qualifier formulas (no solver state), so a MUS learned on
+one candidate branch prunes every other branch's frontier —
+:meth:`MusFixSolver.export_muses` / :meth:`MusFixSolver.import_muses` are
+the two ends of that bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from ..logic.formulas import Formula
+from ..smt.interface import SolverBackend
+from ..smt.sat import SatSolver
+from .constraints import HornConstraint
+from .spaces import QualifierSpace
+
+#: A candidate assignment restricted to what pruning needs: unknown name to
+#: the qualifiers currently in its valuation.
+CandidateLike = Mapping[str, Sequence[Formula]]
+
+#: A portfolio lemma: the constraint a MUS refutes, plus its members.
+MusLemma = Tuple[HornConstraint, Tuple[Formula, ...]]
+
+
+@dataclass
+class MusFixStatistics:
+    """Counters describing one enumerator's work."""
+
+    muses_enumerated: int = 0
+    theory_checks: int = 0
+    map_seeds: int = 0
+    lemmas_imported: int = 0
+    candidates_pruned: int = 0
+
+
+@dataclass
+class _MarcoState:
+    """Resumable MARCO state for one (constraint, qualifier pool) pair."""
+
+    pool: Tuple[Formula, ...]
+    map: SatSolver = field(default_factory=SatSolver)
+    #: Every seed the map proposed, in order (introspection: tests assert
+    #: that blocking makes them unique).
+    seeds: List[FrozenSet[int]] = field(default_factory=list)
+    budget_left: int = 0
+    complete: bool = False
+
+
+class MusFixSolver:
+    """Enumerates MUSes of refuted qualifier sets to prune candidates."""
+
+    def __init__(
+        self,
+        spaces: Dict[str, QualifierSpace],
+        backend: Optional[SolverBackend] = None,
+        budget: int = 64,
+    ) -> None:
+        if backend is None:
+            from ..smt.solver import IncrementalSolver
+
+            backend = IncrementalSolver()
+        self.spaces = spaces
+        self.statistics = MusFixStatistics()
+        self._backend = backend
+        self._budget = budget
+        self._states: Dict[Tuple[HornConstraint, Tuple[Formula, ...]], _MarcoState] = {}
+        #: Known MUSes per constraint (enumerated here or imported from the
+        #: portfolio lemma bus), as frozensets plus the ordered originals.
+        self._mus_sets: Dict[HornConstraint, List[FrozenSet[Formula]]] = {}
+        self._mus_order: Dict[HornConstraint, List[Tuple[Formula, ...]]] = {}
+
+    # -- the MARCO loop ------------------------------------------------------
+
+    def enumerate_muses(
+        self, constraint: HornConstraint, valuation: Sequence[Formula]
+    ) -> List[List[Formula]]:
+        """Minimal subsets of ``valuation`` inconsistent with the concrete
+        premises of ``constraint`` — the subsets that refute it as a guard
+        (any candidate containing one can only satisfy the constraint
+        vacuously).
+
+        Runs the MARCO loop until the power set is exhausted or the theory
+        budget is spent; every known MUS inside ``valuation`` is returned,
+        including imported ones.  Calling again resumes enumeration.
+        """
+        state = self._state(constraint, tuple(valuation))
+        self._run_marco(constraint, state)
+        members = set(valuation)
+        return [
+            list(mus)
+            for mus, mus_set in zip(
+                self._mus_order.get(constraint, []), self._mus_sets.get(constraint, [])
+            )
+            if mus_set <= members
+        ]
+
+    def _state(self, constraint: HornConstraint, pool: Tuple[Formula, ...]) -> _MarcoState:
+        key = (constraint, pool)
+        if key not in self._states:
+            self._states[key] = _MarcoState(pool=pool, budget_left=self._budget)
+        return self._states[key]
+
+    def _run_marco(self, constraint: HornConstraint, state: _MarcoState) -> None:
+        if state.complete or state.budget_left <= 0 or not state.pool:
+            return
+        hard = constraint.concrete_premises()
+        with self._backend.scoped():
+            for premise in hard:
+                self._backend.assert_(premise)
+            if not self._probe(state, ()):
+                # The constraint's own premises are contradictory: it is
+                # vacuous for every valuation, which is no valuation's
+                # fault — there is nothing to prune.
+                state.complete = True
+                return
+            n = len(state.pool)
+            while state.budget_left > 0 and not state.complete:
+                result = state.map.solve()
+                if not result.satisfiable:
+                    state.complete = True
+                    break
+                seed = [i for i in range(1, n + 1) if result.model.get(i, False)]
+                state.seeds.append(frozenset(seed))
+                self.statistics.map_seeds += 1
+                if self._probe(state, seed):
+                    self._grow(state, seed, n)
+                else:
+                    self._shrink(constraint, state, seed)
+
+    def _grow(self, state: _MarcoState, seed: List[int], n: int) -> None:
+        """Grow a consistent seed toward an MSS, then block its down-set.
+
+        Blocking the down-set of *any* consistent set is sound (all its
+        subsets are consistent, so none is a MUS) — which makes running out
+        of budget mid-grow harmless.
+        """
+        mss = list(seed)
+        inside = set(seed)
+        for j in range(1, n + 1):
+            if j in inside:
+                continue
+            if state.budget_left <= 0:
+                break
+            if self._probe(state, mss + [j]):
+                mss.append(j)
+                inside.add(j)
+        blocking = [j for j in range(1, n + 1) if j not in inside]
+        if not blocking:
+            state.complete = True  # the whole pool is consistent: no MUSes
+        else:
+            state.map.add_clause(blocking)
+
+    def _shrink(self, constraint: HornConstraint, state: _MarcoState, seed: List[int]) -> None:
+        """Shrink an inconsistent seed by linear deletion; record the MUS.
+
+        Supersets of any inconsistent set are blocked either way (they are
+        inconsistent too, so none is an MSS and no MUS hides above them);
+        the core is *recorded* as a MUS only when the deletion pass ran to
+        completion, since an interrupted shrink is not yet minimal.
+        """
+        core = list(seed)
+        minimal = True
+        for j in list(core):
+            if state.budget_left <= 0:
+                minimal = False
+                break
+            trial = [k for k in core if k != j]
+            if not self._probe(state, trial):
+                core = trial
+        state.map.add_clause([-j for j in core] or [1])
+        if minimal:
+            self._record_mus(constraint, tuple(state.pool[j - 1] for j in core))
+
+    def _probe(self, state: _MarcoState, indices: Sequence[int]) -> bool:
+        """Theory-check a subset against the asserted hard premises."""
+        state.budget_left -= 1
+        self.statistics.theory_checks += 1
+        return self._backend.check_assuming(state.pool[i - 1] for i in indices)
+
+    def _record_mus(
+        self, constraint: HornConstraint, mus: Tuple[Formula, ...], enumerated: bool = True
+    ) -> bool:
+        known = self._mus_sets.setdefault(constraint, [])
+        mus_set = frozenset(mus)
+        if any(mus_set == existing for existing in known):
+            return False
+        known.append(mus_set)
+        self._mus_order.setdefault(constraint, []).append(mus)
+        if enumerated:
+            self.statistics.muses_enumerated += 1
+        return True
+
+    # -- candidate pruning ---------------------------------------------------
+
+    def prune_candidates(
+        self,
+        candidates: Sequence[Dict[str, Sequence[Formula]]],
+        constraint: HornConstraint,
+    ) -> List[Dict[str, Sequence[Formula]]]:
+        """Drop every candidate containing a known MUS of ``constraint``.
+
+        A candidate contains a MUS when the valuation it assigns to one of
+        the constraint's premise unknowns is a superset of it — such a
+        valuation is inconsistent exactly where the constraint applies, so
+        no strengthening can ever rescue the candidate.
+        """
+        survivors = [c for c in candidates if not self.dooms(c, constraint)]
+        self.statistics.candidates_pruned += len(candidates) - len(survivors)
+        return list(survivors)
+
+    def dooms(self, candidate: CandidateLike, constraint: Optional[HornConstraint] = None) -> bool:
+        """Does ``candidate`` contain a known MUS (of ``constraint``, or of
+        any constraint when none is given)?"""
+        items = (
+            [(constraint, self._mus_sets.get(constraint, []))]
+            if constraint is not None
+            else list(self._mus_sets.items())
+        )
+        for constr, muses in items:
+            if not muses:
+                continue
+            names = constr.premise_unknowns()
+            for name, valuation in candidate.items():
+                if name not in names:
+                    continue
+                members = set(valuation)
+                if any(mus <= members for mus in muses):
+                    return True
+        return False
+
+    def is_vacuous(self, constraint: HornConstraint, valuation: Sequence[Formula]) -> bool:
+        """Is ``valuation`` inconsistent with the constraint's concrete
+        premises (so the constraint only holds vacuously under it)?
+
+        Answers from known MUSes when possible; otherwise asks the theory
+        directly and, on inconsistency, shrinks the witness into a new MUS
+        so the discovery prunes future candidates too.
+        """
+        if not valuation:
+            return False
+        members = set(valuation)
+        if any(mus <= members for mus in self._mus_sets.get(constraint, [])):
+            return True
+        hard = constraint.concrete_premises()
+        with self._backend.scoped():
+            for premise in hard:
+                self._backend.assert_(premise)
+            self.statistics.theory_checks += 1
+            if self._backend.check_assuming(valuation):
+                return False
+            if not self._backend.check_assuming(()):
+                return False  # the premises alone are contradictory
+            core = list(valuation)
+            for q in list(core):
+                trial = [k for k in core if k is not q]
+                self.statistics.theory_checks += 1
+                if not self._backend.check_assuming(trial):
+                    core = trial
+        self._record_mus(constraint, tuple(core))
+        return True
+
+    # -- the portfolio lemma bus ---------------------------------------------
+
+    def export_muses(self) -> List[MusLemma]:
+        """Every known MUS as a (constraint, members) lemma pair."""
+        return [
+            (constraint, mus)
+            for constraint, muses in self._mus_order.items()
+            for mus in muses
+        ]
+
+    def import_muses(self, lemmas: Sequence[MusLemma]) -> int:
+        """Adopt lemmas learned elsewhere; returns how many were new."""
+        added = 0
+        for constraint, mus in lemmas:
+            if self._record_mus(constraint, tuple(mus), enumerated=False):
+                added += 1
+        self.statistics.lemmas_imported += added
+        return added
+
+    def seeds_for(
+        self, constraint: HornConstraint, valuation: Sequence[Formula]
+    ) -> List[FrozenSet[int]]:
+        """The map-solver seeds proposed so far for this pool (1-based
+        indices into ``valuation``) — introspection for tests and debugging."""
+        state = self._states.get((constraint, tuple(valuation)))
+        return list(state.seeds) if state is not None else []

@@ -1,35 +1,44 @@
-"""The greatest-fixpoint Horn-constraint solver (MUSFix-style).
+"""The Horn-constraint solver: greatest fixpoint plus candidate sets.
 
 Implements the constraint-solving procedure of Polikarpova, Kuraj &
 Solar-Lezama, *Program Synthesis from Polymorphic Refinement Types*
 (PLDI 2016): Sec. 5.1 (the greatest-fixpoint iteration over candidate
 valuations, initialised at the strongest assignment), Sec. 5.2's use of
-*weakest* solutions for unknowns in negative positions (served here by
-:meth:`HornSolver._minimize` and by the smallest-first search in
-:mod:`repro.synth.conditions`), and the single-candidate special case of
-the MUSFix algorithm of Sec. 5.3 — the multi-candidate generalisation is
-stubbed in :mod:`repro.typecheck.musfix` (see ROADMAP).
+*weakest* solutions for unknowns in negative positions, and Sec. 5.3's
+MUSFix search over *sets* of candidate assignments.
 
-The solver maintains a candidate assignment ``L`` mapping each predicate
-unknown to a subset of its qualifier space, starting from the *strongest*
-candidate ``L[P] = Q_P``.  One round visits every weakening constraint
+Ordinary unknowns take the classic path: the solver maintains one
+candidate assignment ``L`` mapping each predicate unknown to a subset of
+its qualifier space, starting from the *strongest* candidate
+``L[P] = Q_P``.  One round visits every weakening constraint
 ``lhs ==> P[sigma]`` and prunes from ``L[P]`` the qualifiers that do not
-follow from the premises under the current assignment; because pruning one
-unknown weakens the premises of constraints that mention it, rounds repeat
-until a fixpoint.  The result is the greatest fixpoint — the strongest
-valuation satisfying all weakening constraints — and the remaining
+follow from the premises under the current assignment; rounds repeat until
+a fixpoint.  The result is the greatest fixpoint, and the remaining
 *definite* constraints (concrete conclusions) are then checked against it:
 if one fails there, no assignment in the qualifier space can succeed (the
-premises only get weaker from here), and the system is unsolvable.
+premises only get weaker from here) — for this constraint language the
+single candidate is complete.
 
-Pruning is unsat-core style: a constraint's full valuation is first checked
-in one validity query; only when that fails does the solver descend to
-per-qualifier checks to identify exactly the conjuncts to drop.  All
-validity checks are issued through an incremental
+Unknowns whose space is marked :attr:`~repro.horn.spaces.QualifierSpace.abducible`
+(premise-position guards, as in condition abduction) break that
+completeness: they are solved bottom-up from the weakest valuation
+``True``, and a failing definite constraint admits *several* minimal
+strengthenings — disjunctive inference.  For those the solver keeps a
+**frontier of candidates**: each candidate fixes the abducible valuations,
+the classic fixpoint core runs on the grounded system, and a failure
+branches the candidate into its single-qualifier strengthenings while
+:class:`~repro.horn.musfix.MusFixSolver` enumerates MUSes of the failing
+constraint and prunes every frontier member containing one.  With
+``max_workers > 1`` the branches fan out across worker processes (see
+:mod:`repro.horn.portfolio`), MUS lemmas flowing between them.
+
+Pruning on the classic path is unsat-core style: a constraint's full
+valuation is first checked in one validity query; only when that fails
+does the solver descend to per-qualifier checks to identify exactly the
+conjuncts to drop.  All validity checks are issued through an incremental
 :class:`~repro.smt.interface.SolverBackend` — the premises of a constraint
 are asserted once per round and every per-qualifier probe runs in a
-sub-scope on top of them, so unchanged premises are never re-encoded (their
-selector literals and CNF are reused, per-round and across rounds).
+sub-scope on top of them, so unchanged premises are never re-encoded.
 
 In addition to the strongest solution the solver can greedily minimize it
 into a locally *weakest* one (a minimal subset of each valuation keeping
@@ -39,8 +48,10 @@ preconditions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+import warnings
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..logic import ops
 from ..logic.formulas import Formula
@@ -48,11 +59,31 @@ from ..logic.substitution import apply_assignment, substitute
 from ..smt.interface import SolverBackend
 from ..smt.sets import mentions_sets
 from ..smt.solver import IncrementalSolver
-from .constraints import HornConstraint
+from .constraints import HornConstraint, substitute_unknowns
+from .musfix import MusFixSolver, MusLemma
 from .spaces import QualifierSpace, SpacesLike, as_space_map
 
 #: A candidate valuation: unknown name -> conjunction of qualifiers.
 Assignment = Dict[str, Tuple[Formula, ...]]
+
+
+@dataclass(frozen=True)
+class SolveOptions:
+    """How :meth:`HornSolver.solve` should search.
+
+    ``minimize`` greedily weakens the chosen solution into a locally
+    minimal one.  ``max_workers`` fans candidate branches out across that
+    many worker processes (1 = serial).  ``max_candidates`` bounds the
+    candidate frontier *and* the number of surviving solutions reported —
+    1 degenerates to a greedy single path that can dead-end on disjunctive
+    goals.  ``mus_budget`` caps MARCO theory checks per failing
+    constraint's qualifier pool.
+    """
+
+    minimize: bool = False
+    max_workers: int = 1
+    max_candidates: int = 16
+    mus_budget: int = 64
 
 
 @dataclass
@@ -66,27 +97,118 @@ class HornStatistics:
     #: Qualifiers pruned directly from a counterexample model, without a
     #: per-qualifier validity probe of their own.
     model_pruned_qualifiers: int = 0
+    #: Candidate assignments taken off the search frontier and evaluated.
+    candidates_explored: int = 0
+    #: Candidates dropped because they contained a known MUS (or were
+    #: vacuous) — work the search never had to do.
+    candidates_pruned: int = 0
+    #: Minimal unsatisfiable subsets enumerated by the MARCO loop.
+    muses_enumerated: int = 0
+    #: MUS lemmas adopted from other portfolio branches.
+    lemmas_shared: int = 0
+
+    def merge(self, other: "HornStatistics") -> None:
+        """Fold another solver's counters into this one (portfolio)."""
+        self.validity_checks += other.validity_checks
+        self.fixpoint_rounds += other.fixpoint_rounds
+        self.weakenings += other.weakenings
+        self.pruned_qualifiers += other.pruned_qualifiers
+        self.model_pruned_qualifiers += other.model_pruned_qualifiers
+        self.candidates_explored += other.candidates_explored
+        self.candidates_pruned += other.candidates_pruned
+        self.muses_enumerated += other.muses_enumerated
+        self.lemmas_shared += other.lemmas_shared
 
 
 @dataclass
 class HornSolution:
     """Outcome of :meth:`HornSolver.solve`.
 
-    ``assignment`` is the strongest valuation found (the greatest fixpoint
-    of the weakening constraints); when ``solved`` is false, ``failed``
-    names a definite constraint invalid under it — i.e. invalid under every
-    assignment in the qualifier space.  ``weakest`` is the greedily
-    minimized valuation, present only when minimization was requested.
+    ``candidates`` is the surviving candidate set, weakest first (on the
+    classic path it is the one greatest-fixpoint assignment).
+    ``assignment`` stays the chosen member — the weakest survivor — so
+    existing callers keep working.  When ``solved`` is false, ``failed``
+    names a definite constraint no candidate could satisfy.  ``weakest``
+    is the greedily minimized valuation, present only when minimization
+    was requested.
     """
 
     solved: bool
     assignment: Assignment
+    candidates: Tuple[Assignment, ...] = ()
     weakest: Optional[Assignment] = None
     failed: Optional[HornConstraint] = None
 
     def formula_for(self, unknown: str) -> Formula:
-        """The strongest valuation of ``unknown`` as one conjunction."""
+        """The chosen valuation of ``unknown`` as one conjunction."""
         return ops.conj(self.assignment.get(unknown, ()))
+
+
+@dataclass
+class CandidateSearchResult:
+    """Raw outcome of one :meth:`HornSolver.search_candidates` run.
+
+    The portfolio merges several of these: ``solutions`` are full
+    assignments (abducible guards plus fixpoint valuations), ``frontier``
+    is the unexplored remainder of the queue (branch seeds), ``lemmas``
+    are the MUSes learned, and ``failed`` is the last constraint a
+    candidate died on (diagnostics when nothing solves).
+    """
+
+    solutions: Tuple[Assignment, ...]
+    frontier: Tuple[Assignment, ...]
+    failed: Optional[HornConstraint]
+    lemmas: Tuple[MusLemma, ...]
+
+
+def _candidate_key(candidate: Assignment) -> Tuple:
+    return tuple(sorted(candidate.items(), key=lambda item: item[0]))
+
+
+def _solution_order_key(assignment: Assignment, names: Sequence[str]) -> Tuple:
+    guards = [(name, tuple(repr(q) for q in assignment.get(name, ()))) for name in sorted(names)]
+    return (sum(len(quals) for _, quals in guards), guards)
+
+
+def filter_dominated(
+    solutions: Sequence[Assignment], abducible_names: Sequence[str]
+) -> List[Assignment]:
+    """Keep only the antichain of weakest solutions.
+
+    A solution is dominated when another one's abducible guards are all
+    (weakly) subsets of its own with at least one strictly smaller — the
+    weaker guard admits every behaviour the stronger one does.
+    """
+    guards = [
+        {name: frozenset(sol.get(name, ())) for name in abducible_names} for sol in solutions
+    ]
+    kept: List[Assignment] = []
+    kept_guards: List[Dict[str, FrozenSet[Formula]]] = []
+    for sol, guard in zip(solutions, guards):
+        dominated = any(
+            other != guard and all(other[name] <= guard[name] for name in abducible_names)
+            for other in guards
+        )
+        if not dominated and guard not in kept_guards:
+            kept.append(sol)
+            kept_guards.append(guard)
+    return kept
+
+
+def order_solutions(solutions: Sequence[Assignment], names: Sequence[str]) -> List[Assignment]:
+    """Deterministic weakest-first order, stable across processes."""
+    return sorted(solutions, key=lambda sol: _solution_order_key(sol, names))
+
+
+def resolve_options(options: Optional[SolveOptions], minimize: Optional[bool]) -> SolveOptions:
+    if minimize is not None:
+        warnings.warn(
+            "the minimize= keyword is deprecated; pass SolveOptions(minimize=...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return replace(options if options is not None else SolveOptions(), minimize=minimize)
+    return options if options is not None else SolveOptions()
 
 
 class HornSolver:
@@ -107,14 +229,218 @@ class HornSolver:
         self,
         constraints: Sequence[HornConstraint],
         spaces: SpacesLike,
-        minimize: bool = False,
+        options: Optional[SolveOptions] = None,
+        *,
+        minimize: Optional[bool] = None,
     ) -> HornSolution:
-        """Find the strongest assignment making every constraint valid.
+        """Find assignments making every constraint valid.
 
         Unknowns that appear in constraints but have no qualifier space get
         the empty valuation ``True`` (they cannot constrain anything).
+        Systems without abducible spaces take the classic greatest-fixpoint
+        path; abducible spaces trigger the candidate-set search (and, for
+        ``max_workers > 1``, the process portfolio).
+
+        ``minimize`` as a keyword is a one-release deprecation shim for the
+        old boolean API; pass ``SolveOptions(minimize=True)`` instead.
         """
+        opts = resolve_options(options, minimize)
         space_map = as_space_map(spaces)
+        abducibles = sorted(name for name, sp in space_map.items() if sp.abducible)
+        if abducibles:
+            for constr in constraints:
+                target = constr.conclusion_unknown()
+                if target is not None and target.name in abducibles:
+                    raise ValueError(
+                        f"abducible unknown {target.name!r} cannot appear as a "
+                        f"conclusion (it is solved bottom-up): {constr!r}"
+                    )
+            if opts.max_workers > 1:
+                from .portfolio import solve_portfolio
+
+                return solve_portfolio(constraints, space_map, opts, solver=self)
+            return self._solve_candidates(constraints, space_map, opts)
+
+        solution = self._solve_fixpoint(constraints, space_map)
+        if solution.solved:
+            solution.candidates = (dict(solution.assignment),)
+            if opts.minimize:
+                solution.weakest = self._minimize(constraints, solution.assignment)
+        return solution
+
+    # -- candidate-set search ------------------------------------------------
+
+    def search_candidates(
+        self,
+        constraints: Sequence[HornConstraint],
+        spaces: SpacesLike,
+        options: Optional[SolveOptions] = None,
+        roots: Optional[Sequence[Assignment]] = None,
+        lemmas: Sequence[MusLemma] = (),
+        explore_limit: Optional[int] = None,
+    ) -> CandidateSearchResult:
+        """Breadth-first search over candidate abducible valuations.
+
+        Each candidate fixes every abducible unknown to a subset of its
+        space (in canonical space order); the classic fixpoint core runs on
+        the grounded system.  A solved candidate joins the solution set
+        unless it is vacuous (its guard contradicts a mentioning
+        constraint's concrete premises).  A failed candidate feeds the
+        failing constraint to the MUS enumerator, prunes the frontier, and
+        branches into its single-qualifier strengthenings.
+
+        ``roots`` seeds the frontier (default: the all-``True`` candidate);
+        ``lemmas`` pre-loads MUSes learned elsewhere (the portfolio bus);
+        ``explore_limit`` caps candidates evaluated this call, leaving the
+        rest in ``frontier``.
+        """
+        opts = options if options is not None else SolveOptions()
+        space_map = as_space_map(spaces)
+        abducibles = {n: sp for n, sp in space_map.items() if sp.abducible}
+        positives = {n: sp for n, sp in space_map.items() if not sp.abducible}
+        capacity = max(1, opts.max_candidates)
+        if explore_limit is None:
+            explore_limit = 64 * capacity
+
+        musfix = MusFixSolver(space_map, backend=self._backend, budget=opts.mus_budget)
+        if lemmas:
+            self.statistics.lemmas_shared += musfix.import_muses(lemmas)
+
+        if roots is None:
+            roots = [{name: () for name in sorted(abducibles)}]
+        queue: deque = deque()
+        seen = set()
+        for cand in roots:
+            key = _candidate_key(cand)
+            if key not in seen:
+                seen.add(key)
+                queue.append(dict(cand))
+
+        solutions: List[Assignment] = []
+        solution_guards: List[Dict[str, FrozenSet[Formula]]] = []
+        failed_constr: Optional[HornConstraint] = None
+        explored = 0
+
+        while queue and explored < explore_limit and len(solutions) < capacity:
+            candidate = queue.popleft()
+            explored += 1
+            self.statistics.candidates_explored += 1
+            if musfix.dooms(candidate):
+                self.statistics.candidates_pruned += 1
+                continue
+            guard = {name: frozenset(candidate[name]) for name in abducibles}
+            if any(
+                all(prev[name] <= guard[name] for name in abducibles) for prev in solution_guards
+            ):
+                continue  # dominated: a weaker solution already covers it
+
+            valuations = {name: ops.conj(quals) for name, quals in candidate.items()}
+            grounded = [substitute_unknowns(c, valuations) for c in constraints]
+            sub = self._solve_fixpoint(grounded, positives)
+
+            if sub.solved:
+                if self._vacuous(musfix, constraints, candidate):
+                    self.statistics.candidates_pruned += 1
+                    continue
+                full = dict(sub.assignment)
+                full.update(candidate)
+                solutions.append(full)
+                solution_guards.append(guard)
+                continue
+
+            original = sub.failed
+            for orig, ground in zip(constraints, grounded):
+                if ground is sub.failed:
+                    original = orig
+                    break
+            failed_constr = original
+            assert original is not None
+            repairable = sorted(n for n in original.premise_unknowns() if n in abducibles)
+            for name in repairable:
+                musfix.enumerate_muses(original, abducibles[name].qualifiers)
+            if repairable and len(queue):
+                queue = deque(musfix.prune_candidates(list(queue), original))
+            for name in repairable:
+                space = abducibles[name]
+                current = set(candidate[name])
+                for qualifier in space.qualifiers:
+                    if qualifier in current:
+                        continue
+                    successor = dict(candidate)
+                    successor[name] = tuple(
+                        q for q in space.qualifiers if q in current or q == qualifier
+                    )
+                    key = _candidate_key(successor)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    if musfix.dooms(successor):
+                        self.statistics.candidates_pruned += 1
+                        continue
+                    if len(queue) < capacity:
+                        queue.append(successor)
+                    # else: frontier full — the overflow branch is dropped,
+                    # which is what makes max_candidates=1 a greedy search.
+
+        self.statistics.candidates_pruned += musfix.statistics.candidates_pruned
+        self.statistics.muses_enumerated += musfix.statistics.muses_enumerated
+        return CandidateSearchResult(
+            solutions=tuple(solutions),
+            frontier=tuple(queue),
+            failed=failed_constr,
+            lemmas=tuple(musfix.export_muses()),
+        )
+
+    def _vacuous(
+        self,
+        musfix: MusFixSolver,
+        constraints: Sequence[HornConstraint],
+        candidate: Assignment,
+    ) -> bool:
+        """Does some guard contradict a mentioning constraint's premises?"""
+        for constr in constraints:
+            for name in constr.premise_unknowns():
+                if candidate.get(name) and musfix.is_vacuous(constr, candidate[name]):
+                    return True
+        return False
+
+    def _solve_candidates(
+        self,
+        constraints: Sequence[HornConstraint],
+        space_map: Dict[str, QualifierSpace],
+        options: SolveOptions,
+    ) -> HornSolution:
+        result = self.search_candidates(constraints, space_map, options)
+        names = sorted(n for n, sp in space_map.items() if sp.abducible)
+        return self.assemble_solution(constraints, result.solutions, result.failed, options, names)
+
+    def assemble_solution(
+        self,
+        constraints: Sequence[HornConstraint],
+        solutions: Sequence[Assignment],
+        failed: Optional[HornConstraint],
+        options: SolveOptions,
+        abducible_names: Sequence[str],
+    ) -> HornSolution:
+        """Rank surviving candidates weakest-first into a :class:`HornSolution`."""
+        survivors = order_solutions(filter_dominated(solutions, abducible_names), abducible_names)
+        survivors = survivors[: max(1, options.max_candidates)]
+        if not survivors:
+            return HornSolution(False, {}, failed=failed)
+        best = survivors[0]
+        solution = HornSolution(True, dict(best), candidates=tuple(dict(s) for s in survivors))
+        if options.minimize:
+            solution.weakest = self._minimize(constraints, best)
+        return solution
+
+    # -- fixpoint internals --------------------------------------------------
+
+    def _solve_fixpoint(
+        self,
+        constraints: Sequence[HornConstraint],
+        space_map: Dict[str, QualifierSpace],
+    ) -> HornSolution:
+        """The classic greatest-fixpoint core over one candidate."""
         assignment = self._initial_assignment(constraints, space_map)
         weakening = [c for c in constraints if not c.is_definite()]
         definite = [c for c in constraints if c.is_definite()]
@@ -133,12 +459,7 @@ class HornSolver:
                 solution.solved = False
                 solution.failed = constr
                 return solution
-
-        if minimize:
-            solution.weakest = self._minimize(constraints, assignment)
         return solution
-
-    # -- fixpoint internals --------------------------------------------------
 
     @staticmethod
     def _initial_assignment(

@@ -22,13 +22,30 @@ from ..logic.sorts import Sort
 
 @dataclass(frozen=True)
 class QualifierSpace:
-    """The instantiated qualifier set ``Q_P`` of one predicate unknown."""
+    """The instantiated qualifier set ``Q_P`` of one predicate unknown.
+
+    ``abducible`` marks an unknown solved from the *bottom* of the lattice:
+    it may only appear in premises (a negative position — an abduced guard
+    or inferred precondition), it starts at the weakest valuation ``True``,
+    and the candidate-set search strengthens it one qualifier at a time,
+    branching when a failing constraint admits several minimal repairs (the
+    disjunctive inference of Sec. 5 of the paper).  Ordinary unknowns keep
+    the greatest-fixpoint treatment: start strongest, weaken to a unique
+    maximal fixpoint.
+    """
 
     unknown: str
     qualifiers: Tuple[Formula, ...]
+    abducible: bool = False
 
     def __len__(self) -> int:
         return len(self.qualifiers)
+
+    def index_of(self, qualifier: Formula) -> int:
+        """Position of ``qualifier`` in the space's fixed order — the order
+        the candidate search and the MUS enumerator canonicalize subsets
+        by, so serial and portfolio runs agree on candidate identity."""
+        return self.qualifiers.index(qualifier)
 
 
 def build_space(
@@ -36,6 +53,7 @@ def build_space(
     qualifiers: Sequence[Qualifier],
     candidates: Sequence[Formula],
     value_sort: Optional[Sort] = None,
+    abducible: bool = False,
 ) -> QualifierSpace:
     """Instantiate ``qualifiers`` over the scope of ``unknown``.
 
@@ -44,11 +62,13 @@ def build_space(
     literals such as ``0``.  When ``value_sort`` is given, the value
     variable ``nu`` at that sort joins the candidate pool, which is how
     post-condition unknowns talk about the value being produced.
+    ``abducible`` marks the unknown for bottom-up candidate-set search
+    (see :class:`QualifierSpace`).
     """
     pool = list(candidates)
     if value_sort is not None:
         pool.append(value_var(value_sort))
-    return QualifierSpace(unknown, tuple(instantiate_all(qualifiers, pool)))
+    return QualifierSpace(unknown, tuple(instantiate_all(qualifiers, pool)), abducible)
 
 
 SpacesLike = Union[Mapping[str, QualifierSpace], Iterable[QualifierSpace]]

@@ -19,6 +19,7 @@ path of ``==`` fire on cache hits.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass
 from typing import Dict, Tuple
@@ -105,6 +106,16 @@ class Formula:
         if self._hash != other._hash:
             return False
         return self._key == other._key  # type: ignore[attr-defined]
+
+    def __reduce__(self) -> Tuple:
+        # Rebuild through the constructor rather than copying __dict__: the
+        # precomputed _key/_hash embed enum identities and child hashes that
+        # are only valid within one process, and the portfolio ships
+        # formulas to worker processes.  __post_init__ reseals on arrival.
+        return (
+            self.__class__,
+            tuple(getattr(self, f.name) for f in dataclasses.fields(self)),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         from .pretty import pretty_formula

@@ -116,6 +116,20 @@ class SolverBackend(ABC):
             return not self.check()
 
 
+def new_backend() -> SolverBackend:
+    """A fresh incremental backend with no shared state.
+
+    This is the portfolio's per-worker backend factory: it is a
+    module-level function, so it pickles by reference into worker
+    processes, and each call builds an independent solver (workers must
+    not share the coordinator's SAT/theory state across process
+    boundaries).
+    """
+    from .solver import IncrementalSolver
+
+    return IncrementalSolver()
+
+
 # ---------------------------------------------------------------------------
 # process-wide shared solver (back-compat shim)
 # ---------------------------------------------------------------------------

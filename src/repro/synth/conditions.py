@@ -32,13 +32,11 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..horn.constraints import HornConstraint
+from ..horn.constraints import substitute_unknowns
 from ..horn.solver import HornSolver
 from ..horn.spaces import QualifierSpace
 from ..logic import ops
-from ..logic.formulas import Formula, Unknown
-from ..logic.substitution import substitute
-from ..logic.transform import transform
+from ..logic.formulas import Formula
 from ..syntax.terms import Term
 from ..syntax.types import RType
 from ..typecheck.environment import Environment
@@ -102,36 +100,11 @@ def abduce_condition(
         for subset in combinations(space, size):
             if subset and not _consistent(session, context, subset):
                 continue
-            grounded = [_assume_condition(constr, unknown.name, subset) for constr in constraints]
+            condition = {unknown.name: ops.conj(subset)}
+            grounded = [substitute_unknowns(constr, condition) for constr in constraints]
             if solver.solve(grounded, other_spaces).solved:
                 return AbducedCondition(subset)
     return None
-
-
-def _assume_condition(
-    constraint: HornConstraint, unknown: str, subset: Tuple[Formula, ...]
-) -> HornConstraint:
-    """``constraint`` with the abduction unknown replaced by the tentative
-    condition (other unknowns untouched)."""
-    condition = ops.conj(subset)
-
-    def ground(formula: Formula) -> Formula:
-        def replace(node: Formula) -> Formula:
-            if isinstance(node, Unknown) and node.name == unknown:
-                body = condition
-                if node.substitution:
-                    body = substitute(body, dict(node.substitution))
-                return body
-            return node
-
-        return transform(formula, replace)
-
-    return HornConstraint(
-        tuple(ground(premise) for premise in constraint.premises),
-        constraint.conclusion,
-        label=constraint.label,
-        provenance=constraint.provenance,
-    )
 
 
 def _consistent(

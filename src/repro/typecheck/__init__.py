@@ -26,7 +26,7 @@ from .errors import (
     UnsupportedTermError,
     WellFormednessError,
 )
-from .musfix import MusFixSolver
+from ..horn.musfix import MusFixSolver
 from .session import TypecheckResult, TypecheckSession
 
 __all__ = [

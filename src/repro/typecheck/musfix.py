@@ -1,55 +1,31 @@
-"""MUSFix: MARCO-style enumeration of minimal unsatisfiable subsets.
+"""Deprecated location of :class:`repro.horn.musfix.MusFixSolver`.
 
-The paper's Horn solver (Sec. 5) does not track a *single* candidate
-assignment the way :class:`repro.horn.HornSolver` currently does — it keeps
-a **set** of candidates and, when a definite constraint fails, enumerates
-minimal unsatisfiable subsets (MUSes) of the violated qualifier
-combinations to prune the candidate set wholesale, MARCO-style: a
-propositional "map" solver (:class:`repro.smt.sat.SatSolver`) proposes
-unexplored seeds, each seed is grown/shrunk against the theory into an MSS
-or MUS, and blocking clauses carve the power set down.
-
-This module is the planned home of that enumerator; the interface below is
-fixed so `repro.smt.sat`'s docstring and future callers have a stable
-target, but the implementation ships with the multiple-candidate solver
-generalization (see ROADMAP, "Multiple candidates / MUSFix").
+The MUS enumerator always belonged to the Horn layer (its imports said as
+much); it now lives in :mod:`repro.horn.musfix`.  Importing it from here
+still works for one release but warns.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+import warnings
+from typing import Any
 
-from ..horn.constraints import HornConstraint
-from ..horn.spaces import QualifierSpace
-from ..logic.formulas import Formula
+_MOVED = ("MusFixSolver", "MusFixStatistics", "MusLemma", "CandidateLike")
 
 
-class MusFixSolver:
-    """Enumerates MUSes of refuted qualifier sets to prune candidates.
-
-    Not implemented yet: every method raises :class:`NotImplementedError`.
-    See ROADMAP ("Multiple candidates / MUSFix") for the plan.
-    """
-
-    def __init__(self, spaces: Dict[str, QualifierSpace]) -> None:
-        self.spaces = spaces
-
-    def enumerate_muses(
-        self, constraint: HornConstraint, valuation: Sequence[Formula]
-    ) -> Iterable[List[Formula]]:
-        """Minimal subsets of ``valuation`` still refuting ``constraint``."""
-        raise NotImplementedError(
-            "MUS enumeration ships with the multiple-candidate Horn solver; "
-            "see ROADMAP (Multiple candidates / MUSFix)"
+def __getattr__(name: str) -> Any:
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.typecheck.musfix.{name} has moved to repro.horn.musfix; "
+            "this alias will be removed in the next release",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        from ..horn import musfix
 
-    def prune_candidates(
-        self,
-        candidates: Sequence[Dict[str, Sequence[Formula]]],
-        constraint: HornConstraint,
-    ) -> List[Dict[str, Sequence[Formula]]]:
-        """Drop every candidate containing a known MUS of ``constraint``."""
-        raise NotImplementedError(
-            "candidate-set pruning ships with the multiple-candidate Horn "
-            "solver; see ROADMAP (Multiple candidates / MUSFix)"
-        )
+        return getattr(musfix, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    return sorted(_MOVED)

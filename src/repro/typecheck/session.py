@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..horn.constraints import HornConstraint
-from ..horn.solver import Assignment, HornSolver
+from ..horn.solver import Assignment, HornSolver, SolveOptions, resolve_options
 from ..horn.spaces import QualifierSpace, build_space
 from ..logic import ops
 from ..logic.formulas import Formula, Unknown, value_var
@@ -52,13 +52,16 @@ class TypecheckResult:
     """Outcome of solving a session's constraint system.
 
     ``assignment`` maps every predicate unknown to its strongest inferred
-    valuation; ``weakest`` is the minimized valuation when requested.  When
-    ``solved`` is false, ``failed`` is the refuted constraint and
-    ``error_message`` names the subtyping obligation it came from.
+    valuation; ``candidates`` is the surviving candidate set (weakest
+    first) when the system needed candidate-set search, and ``weakest`` is
+    the minimized valuation when requested.  When ``solved`` is false,
+    ``failed`` is the refuted constraint and ``error_message`` names the
+    subtyping obligation it came from.
     """
 
     solved: bool
     assignment: Assignment = field(default_factory=dict)
+    candidates: Tuple[Assignment, ...] = ()
     weakest: Optional[Assignment] = None
     failed: Optional[HornConstraint] = None
 
@@ -301,7 +304,7 @@ class TypecheckSession:
         term: Term,
         goal: RType,
         where: str = "",
-        minimize: bool = False,
+        options: Optional[SolveOptions] = None,
     ) -> TypecheckResult:
         """Check ``term`` against ``goal`` in a :meth:`trial` scope and solve.
 
@@ -314,7 +317,7 @@ class TypecheckSession:
                 self.check(env, term, goal, where)
             except TypecheckError:
                 return TypecheckResult(solved=False)
-            return self.solve(minimize=minimize)
+            return self.solve(options)
 
     def try_infer(self, env: Environment, term: Term, where: str = "") -> Optional[RType]:
         """Infer ``term``'s type in a :meth:`trial` scope, solving the local
@@ -335,22 +338,41 @@ class TypecheckSession:
 
     # -- solving -------------------------------------------------------------
 
-    def solve(self, minimize: bool = False) -> TypecheckResult:
+    def solve(
+        self,
+        options: Optional[SolveOptions] = None,
+        *,
+        minimize: Optional[bool] = None,
+    ) -> TypecheckResult:
         """Solve the accumulated system with a Horn solver running on this
-        session's shared incremental backend."""
+        session's shared incremental backend.
+
+        ``options`` selects minimization, the candidate-frontier width, the
+        MUS budget, and the portfolio's worker count (``max_workers > 1``
+        fans candidate branches across processes when the system has
+        abducible spaces).  ``minimize`` as a keyword is a one-release
+        deprecation shim for the old boolean API.
+        """
+        opts = resolve_options(options, minimize)
         solver = HornSolver(self.backend)
         self.last_solver = solver
-        solution = solver.solve(self.constraints, self.spaces, minimize=minimize)
+        solution = solver.solve(self.constraints, self.spaces, opts)
         return TypecheckResult(
             solved=solution.solved,
             assignment=solution.assignment,
+            candidates=solution.candidates,
             weakest=solution.weakest,
             failed=solution.failed,
         )
 
-    def solve_or_raise(self, minimize: bool = False) -> TypecheckResult:
+    def solve_or_raise(
+        self,
+        options: Optional[SolveOptions] = None,
+        *,
+        minimize: Optional[bool] = None,
+    ) -> TypecheckResult:
         """Like :meth:`solve`, raising :class:`SubtypingError` on failure."""
-        result = self.solve(minimize=minimize)
+        result = self.solve(resolve_options(options, minimize))
         if not result.solved:
             assert result.error_message is not None
             raise SubtypingError(result.error_message, result.failed)

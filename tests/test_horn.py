@@ -5,6 +5,7 @@ import pytest
 from repro.horn import (
     HornSolver,
     QualifierSpace,
+    SolveOptions,
     build_space,
     build_spaces,
     constraint,
@@ -93,7 +94,7 @@ class TestMaxExample:
 
     def test_weakest_assignment(self):
         constraints, spaces = max_system()
-        solution = HornSolver().solve(constraints, spaces, minimize=True)
+        solution = HornSolver().solve(constraints, spaces, SolveOptions(minimize=True))
         assert solution.solved
         assert set(solution.weakest["P"]) == {ops.le(x, nu), ops.le(y, nu)}
 
@@ -217,3 +218,122 @@ class TestSpaces:
         space = build_space("P", default_qualifiers(), [x, y], value_sort=INT)
         # 4 qualifiers x 6 ordered distinct pairs of {x, y, nu}
         assert len(space) == 24
+
+
+def disjunctive_system():
+    """A goal only candidate-set search can solve (disjunctive inference).
+
+    The abducible guard ``C`` ranges over the four bounds on ``x``; the two
+    definite constraints force ``x != 0`` and ``x <= 0``, so the weakest
+    realizable guard is ``x <= -1`` — but the greedy path commits to
+    ``x >= 0`` first (space order) and dead-ends in a region every
+    extension of which contains a MUS.  ``P`` keeps a classic
+    greatest-fixpoint unknown in the same system.
+    """
+    zero, one, neg_one = IntLit(0), IntLit(1), IntLit(-1)
+    guard_space = QualifierSpace(
+        "C",
+        (ops.ge(x, zero), ops.ge(x, one), ops.le(x, zero), ops.le(x, neg_one)),
+        abducible=True,
+    )
+    flow_space = QualifierSpace("P", (ops.le(nu, zero), ops.ge(nu, zero)))
+    constraints = [
+        constraint([Unknown("C")], ops.neq(x, IntLit(0)), "nonzero"),
+        constraint([Unknown("C")], ops.le(x, IntLit(0)), "nonpositive"),
+        constraint([Unknown("C"), ops.eq(nu, x)], Unknown("P"), "flow"),
+        constraint([Unknown("P")], ops.le(nu, IntLit(0)), "use"),
+    ]
+    return constraints, {"C": guard_space, "P": flow_space}
+
+
+class TestSolveOptions:
+    def test_classic_path_exposes_its_single_candidate(self):
+        constraints, spaces = max_system()
+        solution = HornSolver().solve(constraints, spaces)
+        assert solution.candidates == (solution.assignment,)
+
+    def test_options_object_matches_old_default(self):
+        constraints, spaces = max_system()
+        by_default = HornSolver().solve(constraints, spaces)
+        by_options = HornSolver().solve(constraints, spaces, SolveOptions())
+        assert by_default.assignment == by_options.assignment
+        assert by_default.candidates == by_options.candidates
+
+    def test_minimize_keyword_warns_but_works(self):
+        constraints, spaces = max_system()
+        with pytest.warns(DeprecationWarning, match="SolveOptions"):
+            solution = HornSolver().solve(constraints, spaces, minimize=True)
+        assert solution.solved
+        assert set(solution.weakest["P"]) == {ops.le(x, nu), ops.le(y, nu)}
+
+    def test_unsolved_classic_path_has_no_candidates(self):
+        space = build_space("P", default_qualifiers(), [x], value_sort=INT)
+        constraints = [
+            constraint([ops.ge(x, IntLit(0))], Unknown("P", (("_v", x),))),
+            constraint([Unknown("P")], ops.lt(nu, IntLit(0)), "spec"),
+        ]
+        solution = HornSolver().solve(constraints, [space])
+        assert not solution.solved
+        assert solution.candidates == ()
+
+
+class TestDisjunctiveInference:
+    def test_single_candidate_greedy_path_dead_ends(self):
+        constraints, spaces = disjunctive_system()
+        solution = HornSolver().solve(constraints, spaces, SolveOptions(max_candidates=1))
+        assert not solution.solved
+        assert solution.failed is not None
+
+    def test_candidate_set_search_solves_it(self):
+        constraints, spaces = disjunctive_system()
+        solver = HornSolver()
+        solution = solver.solve(constraints, spaces)
+        assert solution.solved
+        # the weakest realizable guard, not the greedy one
+        assert solution.assignment["C"] == (ops.le(x, IntLit(-1)),)
+        # the classic core still solved the positive unknown per candidate
+        assert ops.le(nu, IntLit(0)) in solution.assignment["P"]
+        # MUSFix did the pruning that makes the search finite
+        assert solver.statistics.muses_enumerated > 0
+        assert solver.statistics.candidates_pruned > 0
+
+    def test_surviving_candidates_form_a_weakest_antichain(self):
+        constraints, spaces = disjunctive_system()
+        solution = HornSolver().solve(constraints, spaces)
+        guards = [frozenset(candidate["C"]) for candidate in solution.candidates]
+        assert frozenset({ops.le(x, IntLit(-1))}) in guards
+        for i, a in enumerate(guards):
+            for j, b in enumerate(guards):
+                assert i == j or not a < b, "a dominated candidate survived"
+
+    def test_minimize_applies_to_the_chosen_candidate(self):
+        constraints, spaces = disjunctive_system()
+        solution = HornSolver().solve(constraints, spaces, SolveOptions(minimize=True))
+        assert solution.solved
+        assert solution.weakest is not None
+        assert solution.weakest["C"] == (ops.le(x, IntLit(-1)),)
+
+    def test_abducible_in_conclusion_is_rejected(self):
+        _, spaces = disjunctive_system()
+        bad = [constraint([ops.ge(x, IntLit(0))], Unknown("C"), "bad")]
+        with pytest.raises(ValueError, match="abducible"):
+            HornSolver().solve(bad, spaces)
+
+
+class TestProvenance:
+    def test_label_argument_folds_into_the_trail(self):
+        constr = constraint([ops.le(x, y)], Unknown("P"), "spec", provenance=("f", "body"))
+        assert constr.provenance == ("f", "body", "spec")
+        assert constr.origin() == "f / body / spec"
+
+    def test_origin_without_trail_is_a_placeholder(self):
+        constr = constraint([ops.le(x, y)], Unknown("P"))
+        assert constr.origin() == "<unlabeled constraint>"
+
+    def test_label_property_is_a_deprecated_alias(self):
+        constr = constraint([ops.le(x, y)], Unknown("P"), "spec")
+        with pytest.warns(DeprecationWarning, match="origin"):
+            assert constr.label == "spec"
+        bare = constraint([ops.le(x, y)], Unknown("P"))
+        with pytest.warns(DeprecationWarning):
+            assert bare.label == ""

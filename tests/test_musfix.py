@@ -1,53 +1,235 @@
-"""Regression tests pinning the MusFixSolver interface stub.
+"""Tests for the MARCO-style MUS enumerator (Sec. 5 of the paper).
 
-The MARCO-style MUS enumerator ships with the multiple-candidate Horn
-solver (see ROADMAP, "Multiple candidates / MUSFix"); until then the stub
-must keep its exact interface shape — future callers are written against
-it — and every method must fail loudly with a pointer to the ROADMAP
-item, never with a bare ``NotImplementedError``.
+A MUS of (constraint, qualifier pool) is a minimal subset of the pool
+whose conjunction is inconsistent with the constraint's concrete premises
+— a guard fragment that can never be established where the constraint
+applies.  The tests pin the three MARCO invariants (every enumerated MUS
+is refuting, every enumerated MUS is minimal, map seeds never repeat),
+check enumeration completeness against brute force on small pools, and
+exercise pruning, budgets, and the portfolio lemma bus.
 """
 
-import inspect
+from itertools import combinations
 
 import pytest
 
-from repro.horn import HornConstraint, build_space
+from repro.horn import HornConstraint, constraint
+from repro.horn.musfix import MusFixSolver
 from repro.logic import ops
-from repro.logic.formulas import Unknown
-from repro.logic.qualifiers import default_qualifiers
+from repro.logic.formulas import IntLit, Unknown
 from repro.logic.sorts import INT
-from repro.typecheck import MusFixSolver
+from repro.smt.solver import IncrementalSolver
+
+x = ops.var("x", INT)
+ZERO = IntLit(0)
+ONE = IntLit(1)
+NEG_ONE = IntLit(-1)
+
+#: Pool with three minimal inconsistent pairs and no inconsistent singleton.
+POOL = (ops.ge(x, ZERO), ops.ge(x, ONE), ops.le(x, ZERO), ops.le(x, NEG_ONE))
 
 
-def make_solver() -> MusFixSolver:
-    space = build_space("P", default_qualifiers(), [ops.var("x", INT)], value_sort=INT)
-    return MusFixSolver({"P": space})
+def guard_constraint(*hard):
+    """A definite constraint guarded by the abducible ``C`` with the given
+    concrete premises."""
+    return constraint([Unknown("C"), *hard], ops.neq(x, ZERO), "demo")
 
 
-class TestMusFixInterfaceShape:
-    def test_constructor_takes_a_space_map(self):
-        parameters = list(inspect.signature(MusFixSolver.__init__).parameters)
-        assert parameters == ["self", "spaces"]
-        solver = make_solver()
-        assert set(solver.spaces) == {"P"}
+def consistent(subset, hard=()):
+    backend = IncrementalSolver()
+    with backend.scoped():
+        for premise in hard:
+            backend.assert_(premise)
+        return backend.check_assuming(subset)
 
-    def test_enumerate_muses_signature(self):
-        parameters = list(inspect.signature(MusFixSolver.enumerate_muses).parameters)
-        assert parameters == ["self", "constraint", "valuation"]
 
-    def test_prune_candidates_signature(self):
-        parameters = list(inspect.signature(MusFixSolver.prune_candidates).parameters)
-        assert parameters == ["self", "candidates", "constraint"]
+def brute_force_muses(pool, hard=()):
+    """All minimal subsets of ``pool`` inconsistent with ``hard``,
+    smallest-first so the superset filter leaves exactly the minimal ones."""
+    muses = []
+    for size in range(1, len(pool) + 1):
+        for subset in combinations(pool, size):
+            if any(set(mus) <= set(subset) for mus in muses):
+                continue
+            if not consistent(subset, hard):
+                muses.append(subset)
+    return {frozenset(mus) for mus in muses}
 
-    def test_methods_raise_with_roadmap_pointer(self):
-        solver = make_solver()
-        constraint = HornConstraint((Unknown("P"),), ops.ge(ops.var("x", INT), ops.int_lit(0)))
-        with pytest.raises(NotImplementedError) as enumerate_error:
-            list(solver.enumerate_muses(constraint, [ops.bool_lit(True)]))
-        with pytest.raises(NotImplementedError) as prune_error:
-            solver.prune_candidates([], constraint)
-        for excinfo in (enumerate_error, prune_error):
-            message = str(excinfo.value)
-            assert message, "NotImplementedError must carry a message, not be bare"
-            assert "ROADMAP" in message
-            assert "Multiple candidates / MUSFix" in message
+
+class TestMarcoInvariants:
+    def test_every_mus_is_refuting_and_minimal(self):
+        constr = guard_constraint()
+        solver = MusFixSolver({})
+        muses = solver.enumerate_muses(constr, POOL)
+        assert muses, "the demo pool has inconsistent pairs"
+        for mus in muses:
+            assert not consistent(mus), f"MUS {mus} is not refuting"
+            for dropped in mus:
+                rest = [q for q in mus if q is not dropped]
+                assert consistent(rest), f"MUS {mus} is not minimal (drop {dropped})"
+
+    def test_seeds_never_repeat(self):
+        constr = guard_constraint()
+        solver = MusFixSolver({})
+        solver.enumerate_muses(constr, POOL)
+        seeds = solver.seeds_for(constr, POOL)
+        assert len(seeds) > 1
+        assert len(seeds) == len(set(seeds)), "blocking clauses must prevent repeats"
+
+    def test_enumeration_is_complete_on_small_pools(self):
+        constr = guard_constraint()
+        solver = MusFixSolver({})
+        found = {frozenset(mus) for mus in solver.enumerate_muses(constr, POOL)}
+        assert found == brute_force_muses(POOL)
+        # the known answer, spelled out: the three contradictory pairs
+        assert found == {
+            frozenset({ops.ge(x, ZERO), ops.le(x, NEG_ONE)}),
+            frozenset({ops.ge(x, ONE), ops.le(x, ZERO)}),
+            frozenset({ops.ge(x, ONE), ops.le(x, NEG_ONE)}),
+        }
+
+    def test_hard_premises_shift_the_muses(self):
+        # Against the hard fact x >= 5 the lower bounds are fine and each
+        # upper bound is inconsistent alone.
+        hard = ops.ge(x, IntLit(5))
+        constr = guard_constraint(hard)
+        solver = MusFixSolver({})
+        found = {frozenset(mus) for mus in solver.enumerate_muses(constr, POOL)}
+        assert found == brute_force_muses(POOL, (hard,))
+        assert found == {
+            frozenset({ops.le(x, ZERO)}),
+            frozenset({ops.le(x, NEG_ONE)}),
+        }
+
+    def test_contradictory_hard_premises_yield_no_muses(self):
+        # The constraint is vacuous for *every* valuation: that is no
+        # valuation's fault, so nothing may be pruned.
+        constr = guard_constraint(ops.lt(x, ZERO), ops.gt(x, ZERO))
+        solver = MusFixSolver({})
+        assert solver.enumerate_muses(constr, POOL) == []
+
+    def test_fully_consistent_pool_yields_no_muses(self):
+        pool = (ops.ge(x, ZERO), ops.ge(x, ONE))
+        constr = guard_constraint()
+        solver = MusFixSolver({})
+        assert solver.enumerate_muses(constr, pool) == []
+
+
+class TestPruneCandidates:
+    def test_candidates_containing_a_mus_are_dropped(self):
+        constr = guard_constraint()
+        solver = MusFixSolver({})
+        solver.enumerate_muses(constr, POOL)
+        doomed = {"C": (ops.ge(x, ONE), ops.le(x, ZERO))}
+        superset_doomed = {"C": (ops.ge(x, ZERO), ops.ge(x, ONE), ops.le(x, ZERO))}
+        viable = {"C": (ops.le(x, NEG_ONE),)}
+        empty = {"C": ()}
+        survivors = solver.prune_candidates([doomed, superset_doomed, viable, empty], constr)
+        assert survivors == [viable, empty]
+        assert solver.statistics.candidates_pruned == 2
+
+    def test_muses_only_apply_to_the_constraints_unknowns(self):
+        constr = guard_constraint()
+        solver = MusFixSolver({})
+        solver.enumerate_muses(constr, POOL)
+        # the same qualifiers under an unknown the constraint never
+        # mentions are untouched
+        other = {"D": (ops.ge(x, ONE), ops.le(x, ZERO))}
+        assert solver.prune_candidates([other], constr) == [other]
+
+
+class TestBudgetAndResume:
+    def test_budget_caps_theory_checks(self):
+        constr = guard_constraint()
+        solver = MusFixSolver({}, budget=3)
+        solver.enumerate_muses(constr, POOL)
+        assert solver.statistics.theory_checks <= 3
+
+    def test_exhausted_budget_never_reports_a_non_minimal_core(self):
+        constr = guard_constraint()
+        for budget in range(1, 8):
+            solver = MusFixSolver({}, budget=budget)
+            for mus in solver.enumerate_muses(constr, POOL):
+                assert not consistent(mus)
+                for dropped in mus:
+                    assert consistent([q for q in mus if q is not dropped])
+
+    def test_enumeration_is_resumable(self):
+        constr = guard_constraint()
+        solver = MusFixSolver({}, budget=10_000)
+        first = solver.enumerate_muses(constr, POOL)
+        checks_after_first = solver.statistics.theory_checks
+        again = solver.enumerate_muses(constr, POOL)
+        # the lattice was exhausted: resuming proposes no new seeds and
+        # spends no further theory checks
+        assert {frozenset(m) for m in again} == {frozenset(m) for m in first}
+        assert solver.statistics.theory_checks == checks_after_first
+
+
+class TestLemmaBus:
+    def test_export_import_round_trip(self):
+        constr = guard_constraint()
+        learner = MusFixSolver({})
+        learner.enumerate_muses(constr, POOL)
+        lemmas = learner.export_muses()
+        assert len(lemmas) == learner.statistics.muses_enumerated == 3
+
+        receiver = MusFixSolver({})
+        assert receiver.import_muses(lemmas) == 3
+        assert receiver.import_muses(lemmas) == 0  # idempotent
+        # imported lemmas prune but are not counted as enumerated here
+        assert receiver.statistics.muses_enumerated == 0
+        assert receiver.statistics.lemmas_imported == 3
+        doomed = {"C": (ops.ge(x, ONE), ops.le(x, ZERO))}
+        assert receiver.prune_candidates([doomed], constr) == []
+        # and they are returned without re-running MARCO
+        assert {frozenset(m) for m in receiver.enumerate_muses(constr, POOL)} == {
+            frozenset(m) for (_, m) in lemmas
+        }
+
+
+class TestVacuity:
+    def test_is_vacuous_learns_a_mus_from_the_witness(self):
+        hard = ops.ge(x, IntLit(5))
+        constr = guard_constraint(hard)
+        solver = MusFixSolver({})
+        assert solver.is_vacuous(constr, (ops.ge(x, ZERO), ops.le(x, ZERO)))
+        assert not solver.is_vacuous(constr, (ops.ge(x, ZERO),))
+        # the discovery was shrunk and recorded: it now prunes candidates
+        doomed = {"C": (ops.ge(x, ZERO), ops.le(x, ZERO))}
+        assert solver.prune_candidates([doomed], constr) == []
+
+
+class TestDeprecatedLocation:
+    def test_old_import_path_warns_and_aliases(self):
+        from repro.typecheck import musfix as old_location
+
+        with pytest.warns(DeprecationWarning, match="moved to repro.horn.musfix"):
+            aliased = old_location.MusFixSolver
+        assert aliased is MusFixSolver
+
+    def test_unknown_attribute_still_raises(self):
+        from repro.typecheck import musfix as old_location
+
+        with pytest.raises(AttributeError):
+            old_location.does_not_exist
+
+
+class TestInterfaceShape:
+    """The interface the stub fixed is the interface that shipped."""
+
+    def test_fixed_signatures(self):
+        import inspect
+
+        enumerate_parameters = list(
+            inspect.signature(MusFixSolver.enumerate_muses).parameters
+        )
+        assert enumerate_parameters == ["self", "constraint", "valuation"]
+        prune_parameters = list(inspect.signature(MusFixSolver.prune_candidates).parameters)
+        assert prune_parameters == ["self", "candidates", "constraint"]
+
+    def test_methods_no_longer_raise_not_implemented(self):
+        constr = HornConstraint((Unknown("C"),), ops.ge(x, ZERO))
+        solver = MusFixSolver({})
+        assert solver.enumerate_muses(constr, [ops.bool_lit(True)]) == []
+        assert solver.prune_candidates([], constr) == []

@@ -7,6 +7,11 @@ infers the refinements (predicate unknowns), whose valuations the tests
 assert exactly.
 """
 
+import warnings
+
+import pytest
+
+from repro.horn import SolveOptions
 from repro.logic import ops
 from repro.logic.formulas import Unknown, Var, value_var
 from repro.logic.sorts import INT
@@ -133,7 +138,7 @@ class TestMaxExample:
         session.check(env, max_term(), sig, where="max")
         spec = parse_type("x:Int -> y:Int -> {Int | nu >= x && nu >= y}")
         session.subtype(env, sig, spec, where="max-spec")
-        outcome = session.solve(minimize=True)
+        outcome = session.solve(SolveOptions(minimize=True))
         assert outcome.solved
         unknown = result.refinement
         assert isinstance(unknown, Unknown)
@@ -293,3 +298,37 @@ class TestSchemaInstantiation:
         inferred = session.infer(env, app(v("f"), v("x")))
         assert isinstance(inferred.refinement, Unknown)
         assert inferred.refinement.name in session.spaces
+
+
+class TestSolveOptionsShim:
+    """``solve(minimize=True)`` still works for one release, but warns and
+    routes through :class:`SolveOptions`; the modern spelling is silent and
+    agrees with the legacy one."""
+
+    def build_session(self):
+        env = component_env(geq=GEQ)
+        session = TypecheckSession()
+        inner = env.bind("x", int_type()).bind("y", int_type())
+        result = session.fresh_scalar(inner, INT_BASE)
+        sig = arrow("x", int_type(), arrow("y", int_type(), result))
+        session.check(env, max_term(), sig, where="max")
+        spec = parse_type("x:Int -> y:Int -> {Int | nu >= x && nu >= y}")
+        session.subtype(env, sig, spec, where="max-spec")
+        return session
+
+    def test_minimize_keyword_warns_and_still_minimizes(self):
+        with pytest.warns(DeprecationWarning, match="SolveOptions"):
+            legacy = self.build_session().solve(minimize=True)
+        assert legacy.solved and legacy.weakest is not None
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            modern = self.build_session().solve(SolveOptions(minimize=True))
+        assert modern.solved
+        assert modern.weakest == legacy.weakest
+        assert modern.assignment == legacy.assignment
+
+    def test_classic_path_reports_its_single_candidate(self):
+        outcome = self.build_session().solve()
+        assert outcome.solved
+        assert outcome.candidates == (outcome.assignment,)

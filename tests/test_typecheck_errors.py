@@ -10,7 +10,7 @@ the MUSFix interface stub.
 import pytest
 
 from repro.logic import ops
-from repro.logic.formulas import TRUE, Unknown, value_var
+from repro.logic.formulas import Unknown, value_var
 from repro.logic.sortcheck import SortError, check_refinement, check_sort
 from repro.logic.sorts import BOOL, INT, set_of
 from repro.syntax import (
@@ -37,8 +37,6 @@ from repro.typecheck import (
     TypecheckSession,
     WellFormednessError,
 )
-from repro.typecheck.musfix import MusFixSolver
-
 x = ops.var("x", INT)
 y = ops.var("y", INT)
 nu = value_var(INT)
@@ -283,11 +281,15 @@ class TestIntroductionForms:
             session.check(EMPTY, FixTerm("f", v("f")), int_type(), "fix")
 
 
-class TestMusFixStub:
-    def test_interface_is_reserved(self):
-        solver = MusFixSolver({})
-        constraint_stub = None
-        with pytest.raises(NotImplementedError, match="ROADMAP"):
-            list(solver.enumerate_muses(constraint_stub, [TRUE]))
-        with pytest.raises(NotImplementedError, match="ROADMAP"):
-            solver.prune_candidates([], constraint_stub)
+class TestMusFixMoved:
+    def test_typecheck_reexports_the_horn_enumerator(self):
+        from repro.horn.musfix import MusFixSolver as horn_musfix
+        from repro.typecheck import MusFixSolver as reexported
+
+        assert reexported is horn_musfix
+
+    def test_old_module_path_warns(self):
+        from repro.typecheck import musfix as old_location
+
+        with pytest.warns(DeprecationWarning, match="moved to repro.horn.musfix"):
+            old_location.MusFixSolver
