@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Perf regression gate: compare a fresh bench report against a baseline.
 
-CI runs the perf smoke scripts (``bench_horn.py``, ``bench_typecheck.py``)
-into fresh reports, then gates them against the committed baselines::
+CI runs the perf smoke scripts (``bench_horn.py``, ``bench_typecheck.py``,
+``bench_synth.py``, ``bench_smt.py``, ``bench_service.py``) into fresh
+reports, then gates them against the committed baselines::
 
     python scripts/check_bench_regression.py \\
         --baseline BENCH_horn.json --candidate BENCH_horn.new.json
@@ -44,6 +45,8 @@ TRACKED_COUNTERS = (
     "muses_enumerated",
     "candidates_pruned",
     "lemmas_shared",
+    "cache_hits",
+    "cache_misses",
 )
 
 

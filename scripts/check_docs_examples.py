@@ -75,7 +75,13 @@ def main() -> int:
     parser.add_argument(
         "files",
         nargs="*",
-        default=["docs/architecture.md", "docs/synthesis-tutorial.md", "README.md"],
+        default=[
+            "docs/architecture.md",
+            "docs/synthesis-tutorial.md",
+            "docs/service.md",
+            "docs/cli.md",
+            "README.md",
+        ],
         help="markdown files to scan (default: docs/ pages and the README)",
     )
     args = parser.parse_args()

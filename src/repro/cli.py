@@ -1,4 +1,4 @@
-"""The command-line driver: ``python -m repro {check,synth} file.sq``.
+"""The command-line driver: ``python -m repro {check,synth,batch,serve}``.
 
 A ``.sq`` file interleaves ``data`` / ``measure`` declarations, component
 signatures ``name :: type``, checked definitions ``name = term``, and
@@ -8,25 +8,32 @@ definition through the refinement type checker against its signature;
 ``synth`` runs the round-trip synthesizer on every goal, prints the
 programs it finds together with enumeration statistics, and re-checks
 each one through the ordinary checker before reporting success.
+``batch`` sweeps a directory of ``.sq`` files through a worker pool, and
+``serve`` boots the long-running HTTP service — both reuse the
+persistent result cache (:mod:`repro.service.cache`).
 
-Exit codes: ``0`` — everything checked / every goal synthesized and
-verified; ``1`` — a definition was refuted or a goal was not synthesized;
-``2`` — usage errors, unreadable files, or parse errors.
+All verbs render from the payload structures of
+:mod:`repro.service.api`, so output is byte-identical whether an answer
+was computed fresh or served from the cache.  Exit codes follow the
+contract documented in ``docs/cli.md``: ``0`` success, ``1`` refuted /
+unsynthesized / failing files, ``2`` usage, unreadable-file, or parse
+errors.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, TextIO
 
-from .horn.solver import SolveOptions
+from .service import api
+from .service.batch import render_report, run_batch
+from .service.cache import default_cache_dir, open_cache
+from .service.server import serve
+from .service.worker import WarmStack
 from .syntax.parser import ParseError, Program, parse_program
-from .syntax.types import generalize
-from .synth.synthesizer import SynthesisGoal, Synthesizer, describe_goal
-from .typecheck.environment import EMPTY
-from .typecheck.errors import TypecheckError
-from .typecheck.session import TypecheckSession
+from .version import package_version
 
 EXIT_OK = 0
 EXIT_FAILURE = 1
@@ -53,95 +60,157 @@ def _load_program(path: str) -> Program:
         raise _CliError(f"{path}: parse error: {error}") from error
 
 
-def _component_environment(program: Program, upto: str):
-    """A fresh session and environment for checking or synthesizing the
-    item named ``upto``: constructors plus every signature declared
-    *before* it in the file (so later components cannot be assumed —
-    recursion goes through ``fix`` and its termination metric instead)."""
-    session = TypecheckSession(
-        datatypes=program.datatypes.values(),
-        measure_defs=program.measures.values(),
+def _open_query_cache(args):
+    """The (cache, warm stack) pair for a one-shot ``check``/``synth``.
+
+    One-shot verbs only persist results when pointed at a cache —
+    ``--cache-dir`` on the command line or ``REPRO_CACHE_DIR`` in the
+    environment — so a plain invocation stays stateless.  (``batch`` and
+    ``serve`` default the other way; see ``_open_service_cache``.)
+    """
+    enabled = not args.no_cache and (
+        args.cache_dir is not None or "REPRO_CACHE_DIR" in os.environ
     )
-    env = session.bind_constructors(EMPTY)
-    for name, rtype in program.signatures.items():
-        if name == upto:
-            break
-        env = env.bind(name, generalize(rtype))
-    return session, env
+    cache, store = open_cache(args.cache_dir, enabled=enabled)
+    return cache, WarmStack(store)
 
 
-def _run_check(program: Program, path: str, args, out: TextIO) -> int:
-    options = SolveOptions(max_workers=args.workers)
-    failures = 0
-    for name, term in program.definitions.items():
-        session, env = _component_environment(program, name)
-        goal = program.signatures[name]
-        try:
-            session.check_program(term, goal, env, where=name)
-            outcome = session.solve(options)
-        except TypecheckError as error:
-            print(f"{name}: REJECTED — {error}", file=out)
-            failures += 1
-            continue
-        if outcome.solved:
-            print(f"{name}: OK", file=out)
+def _open_service_cache(args):
+    """The (cache, lemma store) pair for ``batch``: on unless opted out."""
+    return open_cache(args.cache_dir, enabled=not args.no_cache)
+
+
+# -- check -------------------------------------------------------------------
+
+
+def _render_check(payload: dict, path: str, out: TextIO) -> int:
+    for item in payload["items"]:
+        if item["status"] == "ok":
+            print(f"{item['name']}: OK", file=out)
+        elif item["status"] == "rejected":
+            print(f"{item['name']}: REJECTED — {item['message']}", file=out)
         else:
-            print(f"{name}: REJECTED — {outcome.error_message}", file=out)
-            failures += 1
-    for name in program.goals:
-        print(f"{name}: skipped (synthesis goal; run `synth`)", file=out)
-    if not program.definitions:
+            print(f"{item['name']}: skipped (synthesis goal; run `synth`)", file=out)
+    if payload.get("note") == "no-definitions":
         # A file of signatures and goals is valid input with nothing to do —
         # not an error (the exit-code contract reserves 1 for refutations).
         print(f"{path}: no definitions to check (only signatures or goals)", file=out)
-    return EXIT_FAILURE if failures else EXIT_OK
+    return EXIT_FAILURE if payload["failures"] else EXIT_OK
+
+
+def _run_check(program: Program, path: str, args, out: TextIO) -> int:
+    cache, stack = _open_query_cache(args)
+    with stack.query() as backend:
+        payload, _, _ = api.check_query(
+            program, workers=args.workers, cache=cache, backend=backend
+        )
+    stack.flush_lemmas()
+    return _render_check(payload, path, out)
+
+
+# -- synth -------------------------------------------------------------------
+
+
+def _render_synth(payload: dict, path: str, quiet: bool, out: TextIO) -> int:
+    if payload.get("note") == "no-goals":
+        print(f"{path}: no synthesis goals (write `name = ??` after a signature)", file=out)
+        return EXIT_FAILURE
+    for item in payload["items"]:
+        print(f"synthesizing {item['goal']}", file=out)
+        if not item["solved"]:
+            print(f"  {item['reason']}", file=out)
+            continue
+        print(item["program"], file=out)
+        if not quiet:
+            stats = item["statistics"]
+            print(
+                f"  candidates generated: {stats['generated']}, "
+                f"pruned early: {stats['pruned_early']} "
+                f"(+{stats['pruned_shape']} by shape), "
+                f"local checks: {stats['checked']}, "
+                f"goal checks: {stats['goal_checks']}, "
+                f"abductions: {stats['abductions']}, "
+                f"verified: {'yes' if item['verified'] else 'NO'}",
+                file=out,
+            )
+        if not item["verified"]:
+            print(f"  {item['name']}: synthesized program failed re-checking", file=out)
+    return EXIT_FAILURE if payload["failures"] else EXIT_OK
 
 
 def _run_synth(program: Program, path: str, args, out: TextIO) -> int:
-    goals: List[str] = list(program.goals)
-    if args.only is not None:
-        if args.only not in program.signatures:
-            raise _CliError(f"{path}: no signature for goal `{args.only}`")
-        goals = [args.only]
-    if not goals:
-        print(f"{path}: no synthesis goals (write `name = ??` after a signature)", file=out)
-        return EXIT_FAILURE
-    failures = 0
-    for name in goals:
-        # Every *other* signature in the file is a component — the same
-        # pool the scriptable API and the benchmarks use.  (Definitions
-        # are still checked in declaration order by `check`; synthesis
-        # trusts signatures, so order does not matter here.)
-        goal = SynthesisGoal.from_program(program, name)
-        print(f"synthesizing {describe_goal(goal)}", file=out)
-        synthesizer = Synthesizer(
-            goal,
-            max_depth=args.depth,
-            max_conditionals=args.max_conditionals,
-            max_matches=args.max_matches,
-        )
-        result = synthesizer.synthesize()
-        if not result.solved:
-            print(f"  {result.reason}", file=out)
-            failures += 1
-            continue
-        print(result.pretty(), file=out)
-        if not args.quiet:
-            stats = result.statistics
-            print(
-                f"  candidates generated: {stats.generated}, "
-                f"pruned early: {stats.pruned_early} "
-                f"(+{stats.pruned_shape} by shape), "
-                f"local checks: {stats.checked}, "
-                f"goal checks: {stats.goal_checks}, "
-                f"abductions: {stats.abductions}, "
-                f"verified: {'yes' if result.verified else 'NO'}",
-                file=out,
+    cache, stack = _open_query_cache(args)
+    try:
+        with stack.query() as backend:
+            payload, _, _ = api.synth_query(
+                program,
+                only=args.only,
+                depth=args.depth,
+                max_conditionals=args.max_conditionals,
+                max_matches=args.max_matches,
+                cache=cache,
+                backend=backend,
+                recheck=args.recheck,
             )
-        if not result.verified:
-            print(f"  {name}: synthesized program failed re-checking", file=out)
-            failures += 1
-    return EXIT_FAILURE if failures else EXIT_OK
+    except api.UnknownGoal:
+        raise _CliError(f"{path}: no signature for goal `{args.only}`") from None
+    stack.flush_lemmas()
+    return _render_synth(payload, path, args.quiet, out)
+
+
+# -- batch / serve -----------------------------------------------------------
+
+
+def _run_batch(args, out: TextIO) -> int:
+    cache, store = _open_service_cache(args)
+    report = run_batch(
+        args.dir,
+        jobs=args.jobs,
+        cache=cache,
+        lemma_store=store,
+        depth=args.depth,
+        max_conditionals=args.max_conditionals,
+        max_matches=args.max_matches,
+    )
+    render_report(report, out)
+    return EXIT_FAILURE if report["failures"] else EXIT_OK
+
+
+def _add_cache_flags(command, default_dir: bool) -> None:
+    command.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persistent result cache directory"
+            + (
+                f" (default: $REPRO_CACHE_DIR or {default_cache_dir()!r})"
+                if default_dir
+                else " (caching is off for this verb unless given)"
+            )
+        ),
+    )
+    command.add_argument(
+        "--no-cache", action="store_true", help="never read or write the result cache"
+    )
+
+
+def _add_synth_limits(command) -> None:
+    command.add_argument(
+        "--depth", type=int, default=4, help="E-term enumeration depth bound (default 4)"
+    )
+    command.add_argument(
+        "--max-conditionals",
+        type=int,
+        default=1,
+        help="how many nested abduced conditionals to allow (default 1)",
+    )
+    command.add_argument(
+        "--max-matches",
+        type=int,
+        default=1,
+        help="how many nested matches to allow (default 1)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -149,7 +218,10 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Refinement-type checking and round-trip program synthesis.",
     )
-    commands = parser.add_subparsers(dest="command", metavar="{check,synth}")
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {package_version()}"
+    )
+    commands = parser.add_subparsers(dest="command", metavar="{check,synth,batch,serve}")
     check = commands.add_parser(
         "check", help="type-check every definition in a .sq file against its signature"
     )
@@ -161,44 +233,73 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for the candidate-set Horn portfolio (default 1 = serial)",
     )
+    _add_cache_flags(check, default_dir=False)
     synth = commands.add_parser("synth", help="synthesize every `name = ??` goal in a .sq file")
     synth.add_argument("file", help="the .sq source file")
-    synth.add_argument(
-        "--depth", type=int, default=4, help="E-term enumeration depth bound (default 4)"
-    )
-    synth.add_argument(
-        "--max-conditionals",
-        type=int,
-        default=1,
-        help="how many nested abduced conditionals to allow (default 1)",
-    )
-    synth.add_argument(
-        "--max-matches",
-        type=int,
-        default=1,
-        help="how many nested matches to allow (default 1)",
-    )
+    _add_synth_limits(synth)
     synth.add_argument("--only", metavar="NAME", help="synthesize just this goal")
     synth.add_argument(
         "--quiet", action="store_true", help="suppress the enumeration statistics line"
     )
+    synth.add_argument(
+        "--recheck",
+        action="store_true",
+        help="re-verify cached programs through a fresh checker before trusting them",
+    )
+    _add_cache_flags(synth, default_dir=False)
+    batch = commands.add_parser(
+        "batch", help="screen every .sq file under a directory through the result cache"
+    )
+    batch.add_argument("dir", help="directory to sweep (recursively) for .sq files")
+    batch.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker threads, each with its own warm solver stack (default 1)",
+    )
+    _add_synth_limits(batch)
+    _add_cache_flags(batch, default_dir=True)
+    serve_cmd = commands.add_parser(
+        "serve", help="run the long-running HTTP/JSON synthesis service"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8729, help="TCP port (default 8729; 0 picks a free port)"
+    )
+    serve_cmd.add_argument(
+        "--verbose", action="store_true", help="log one line per request to stderr"
+    )
+    _add_cache_flags(serve_cmd, default_dir=True)
     return parser
 
 
 def main(argv: Optional[List[str]] = None, out: TextIO = sys.stdout) -> int:
-    """Entry point; returns the process exit code (see module docstring)."""
+    """Entry point; returns the process exit code (see ``docs/cli.md``)."""
     parser = _build_parser()
     try:
         args = parser.parse_args(argv)
     except SystemExit as exit_:
-        # argparse already printed a usage or "invalid choice" message.
+        # argparse already printed a usage, --version, or "invalid choice"
+        # message.
         code = exit_.code
         return EXIT_OK if code in (0, None) else EXIT_USAGE
     if args.command is None:
         parser.print_usage(sys.stderr)
-        print("error: expected a subcommand: check or synth", file=sys.stderr)
+        print("error: expected a subcommand: check, synth, batch, or serve", file=sys.stderr)
         return EXIT_USAGE
     try:
+        if args.command == "batch":
+            return _run_batch(args, out)
+        if args.command == "serve":
+            return serve(
+                host=args.host,
+                port=args.port,
+                cache_dir=args.cache_dir,
+                no_cache=args.no_cache,
+                verbose=args.verbose,
+                out=out,
+            )
         program = _load_program(args.file)
         if args.command == "check":
             return _run_check(program, args.file, args, out)

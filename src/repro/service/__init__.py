@@ -1,0 +1,49 @@
+"""Synthesis as a service: persistent server, result cache, batch mode.
+
+The seventh layer of the stack (see ``docs/architecture.md``): everything
+below — parser, typechecker, Horn solver, SMT stack, synthesizer — is a
+pure function from a program to a result, so results can be
+content-addressed and computed behind a long-running front.  This package
+provides the three pieces:
+
+- :mod:`repro.service.cache` — the persistent content-addressed store
+  (query results keyed by program digest; a cross-run pool of
+  alpha-canonical theory lemmas).
+- :mod:`repro.service.worker` — :class:`WarmStack`, one persistent
+  incremental solver reused across queries.
+- :mod:`repro.service.api` — ``check``/``synth`` as payload-returning
+  queries, the layer the CLI, the HTTP server
+  (:mod:`repro.service.server`) and the batch pipeline
+  (:mod:`repro.service.batch`) all render from.
+"""
+
+from .api import check_query, compute_check, compute_synth, synth_query
+from .cache import (
+    CACHE_SCHEMA_VERSION,
+    DEFAULT_CACHE_DIR,
+    LemmaStore,
+    ResultCache,
+    canonical_program_text,
+    default_cache_dir,
+    open_cache,
+    program_digest,
+    query_digest,
+)
+from .worker import WarmStack
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "LemmaStore",
+    "ResultCache",
+    "WarmStack",
+    "canonical_program_text",
+    "check_query",
+    "compute_check",
+    "compute_synth",
+    "default_cache_dir",
+    "open_cache",
+    "program_digest",
+    "query_digest",
+    "synth_query",
+]

@@ -1,0 +1,221 @@
+"""The query layer shared by the CLI, the HTTP server, and batch mode.
+
+``check`` and ``synth`` are computed here as plain JSON-able *payloads*:
+ordered per-item results carrying everything any surface renders (status
+lines, pretty-printed programs, enumeration statistics, inferred Horn
+valuations).  The CLI prints a payload, the server returns it as JSON,
+and the batch pipeline aggregates it — and because the cache stores the
+payload itself, a cached query renders byte-for-byte identically to a
+fresh one.  That is the whole differential guarantee: the cache can only
+change *when* a payload was computed, never what it contains.
+
+Payload shapes::
+
+    check: {"items": [{"name", "status": "ok"|"rejected"|"goal",
+                       "message"?, "valuations"?}, ...],
+            "failures": int, "note": "no-definitions"?}
+    synth: {"items": [{"name", "goal", "solved", "program", "verified",
+                       "statistics", "reason"}, ...],
+            "failures": int, "note": "no-goals"?}
+
+Caching is content-addressed (:func:`repro.service.cache.query_digest`);
+pass ``cache=None`` (the ``--no-cache`` path) to always compute.  A
+``backend`` (a :class:`~repro.service.worker.WarmStack`'s solver) makes
+repeated computation cheap; ``recheck=True`` re-verifies a cached synth
+program through a fresh checker before serving it — the paranoid mode
+for caches on shared disks — falling back to recomputation if the
+stored program no longer checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..horn.solver import SolveOptions
+from ..syntax.parser import ParseError, Program, parse_term
+from ..syntax.types import generalize
+from ..synth.synthesizer import SynthesisGoal, Synthesizer, describe_goal
+from ..typecheck.environment import EMPTY
+from ..typecheck.errors import TypecheckError
+from ..typecheck.session import TypecheckSession
+from .cache import ResultCache, query_digest
+
+
+class UnknownGoal(Exception):
+    """``only=`` names a goal with no signature in the program."""
+
+
+def _component_environment(program: Program, upto: str, backend=None):
+    """A fresh session and environment for checking the item named
+    ``upto``: constructors plus every signature declared *before* it in
+    the file (so later components cannot be assumed — recursion goes
+    through ``fix`` and its termination metric instead)."""
+    session = TypecheckSession(
+        datatypes=program.datatypes.values(),
+        measure_defs=program.measures.values(),
+        backend=backend,
+    )
+    env = session.bind_constructors(EMPTY)
+    for name, rtype in program.signatures.items():
+        if name == upto:
+            break
+        env = env.bind(name, generalize(rtype))
+    return session, env
+
+
+# -- check -------------------------------------------------------------------
+
+
+def compute_check(program: Program, workers: int = 1, backend=None) -> dict:
+    """Type-check every definition; the payload the ``check`` verb renders."""
+    options = SolveOptions(max_workers=workers)
+    items = []
+    failures = 0
+    for name, term in program.definitions.items():
+        session, env = _component_environment(program, name, backend)
+        goal = program.signatures[name]
+        try:
+            session.check_program(term, goal, env, where=name)
+            outcome = session.solve(options)
+        except TypecheckError as error:
+            items.append({"name": name, "status": "rejected", "message": str(error)})
+            failures += 1
+            continue
+        if outcome.solved:
+            item = {"name": name, "status": "ok"}
+            valuations = {
+                unknown: [repr(q) for q in quals]
+                for unknown, quals in sorted(outcome.assignment.items())
+                if quals
+            }
+            if valuations:
+                item["valuations"] = valuations
+            items.append(item)
+        else:
+            items.append(
+                {"name": name, "status": "rejected", "message": outcome.error_message}
+            )
+            failures += 1
+    for name in program.goals:
+        items.append({"name": name, "status": "goal"})
+    payload = {"items": items, "failures": failures}
+    if not program.definitions:
+        payload["note"] = "no-definitions"
+    return payload
+
+
+def check_query(
+    program: Program,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    backend=None,
+) -> Tuple[dict, bool, str]:
+    """``check`` through the cache: ``(payload, was_cached, digest)``."""
+    digest = query_digest("check", program, {"workers": workers})
+    if cache is not None:
+        payload = cache.get(digest)
+        if payload is not None:
+            return payload, True, digest
+    payload = compute_check(program, workers, backend)
+    if cache is not None:
+        cache.put(digest, payload)
+    return payload, False, digest
+
+
+# -- synth -------------------------------------------------------------------
+
+
+def compute_synth(
+    program: Program,
+    only: Optional[str] = None,
+    depth: int = 4,
+    max_conditionals: int = 1,
+    max_matches: int = 1,
+    backend=None,
+) -> dict:
+    """Synthesize every goal (or just ``only``); the ``synth`` payload."""
+    goals = list(program.goals)
+    if only is not None:
+        goals = [only]
+    if not goals:
+        return {"items": [], "failures": 1, "note": "no-goals"}
+    items = []
+    failures = 0
+    for name in goals:
+        goal = SynthesisGoal.from_program(program, name)
+        synthesizer = Synthesizer(
+            goal,
+            max_depth=depth,
+            max_conditionals=max_conditionals,
+            max_matches=max_matches,
+            backend=backend,
+        )
+        result = synthesizer.synthesize()
+        item = {
+            "name": name,
+            "goal": describe_goal(goal),
+            "solved": result.solved,
+            "program": result.pretty() if result.solved else None,
+            "verified": result.verified,
+            "statistics": result.statistics.as_dict(),
+            "reason": result.reason,
+        }
+        items.append(item)
+        if not result.solved or not result.verified:
+            failures += 1
+    return {"items": items, "failures": failures}
+
+
+def synth_query(
+    program: Program,
+    only: Optional[str] = None,
+    depth: int = 4,
+    max_conditionals: int = 1,
+    max_matches: int = 1,
+    cache: Optional[ResultCache] = None,
+    backend=None,
+    recheck: bool = False,
+) -> Tuple[dict, bool, str]:
+    """``synth`` through the cache: ``(payload, was_cached, digest)``."""
+    if only is not None and only not in program.signatures:
+        raise UnknownGoal(only)
+    options: Dict[str, object] = {
+        "only": only,
+        "depth": depth,
+        "max_conditionals": max_conditionals,
+        "max_matches": max_matches,
+    }
+    digest = query_digest("synth", program, options)
+    if cache is not None:
+        payload = cache.get(digest)
+        if payload is not None:
+            if not recheck or recheck_synth_payload(program, payload):
+                return payload, True, digest
+    payload = compute_synth(program, only, depth, max_conditionals, max_matches, backend)
+    if cache is not None:
+        cache.put(digest, payload)
+    return payload, False, digest
+
+
+def recheck_synth_payload(program: Program, payload: dict) -> bool:
+    """Does every solved program in a cached payload still check?
+
+    The cache-aware re-check: each stored ``name = term`` line is parsed
+    back and run through a fresh session of the ordinary checker against
+    its signature, exactly like the synthesizer's own verification pass.
+    Any failure rejects the whole payload (the caller recomputes).
+    """
+    for item in payload.get("items", ()):
+        if not item.get("solved") or not item.get("program"):
+            continue
+        _, _, body = item["program"].partition(" = ")
+        goal = SynthesisGoal.from_program(program, item["name"])
+        session, env = goal.session_environment()
+        try:
+            term = parse_term(body, measures=session.measures)
+            session.check_program(term, goal.goal, env, where=item["name"])
+        except (ParseError, TypecheckError):
+            return False
+        if not session.solve().solved:
+            return False
+    return True

@@ -1,0 +1,173 @@
+"""Batch screening: sweep a directory of ``.sq`` files through the cache.
+
+The screening loop the paper's evaluation section implies but never
+ships: point the tool at a corpus, get one line per file and a summary.
+Each file is parsed once and routed through the same query layer the CLI
+and server use — ``check`` when it has definitions, ``synth`` when it
+has goals — so results are content-addressed: a warm second sweep (or a
+sweep over a corpus that shares files with a previous one) answers from
+the :class:`~repro.service.cache.ResultCache` without touching a solver.
+
+Files are processed by a bounded worker pool.  Workers are threads (the
+solver stack is pure Python, but the cache is I/O and corpora are many
+small independent jobs), and each worker thread owns its own
+:class:`~repro.service.worker.WarmStack` so solver state is never shared
+across threads; learned lemmas from every stack are merged into the
+store at the end of the sweep.
+
+Because it reports wall-clock time and cache counters, the sweep doubles
+as the service throughput benchmark (``scripts/bench_service.py`` runs
+it cold and warm and asserts the ratio).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import List, Optional
+
+from ..syntax.parser import ParseError, parse_program
+from . import api
+from .cache import LemmaStore, ResultCache
+from .worker import WarmStack
+
+
+def discover_files(root: str) -> List[Path]:
+    """The ``.sq`` files under ``root`` (a directory, recursively, in
+    sorted order — the sweep's result order is deterministic) or the
+    single file ``root`` itself."""
+    path = Path(root)
+    if path.is_dir():
+        return sorted(path.rglob("*.sq"))
+    return [path]
+
+
+def screen_file(
+    path: Path,
+    cache: Optional[ResultCache] = None,
+    backend=None,
+    depth: int = 4,
+    max_conditionals: int = 1,
+    max_matches: int = 1,
+) -> dict:
+    """One file through the query layer; the per-file batch record.
+
+    ``{"file", "failures", "cached", "fresh", "check"?, "synth"?,
+    "error"?}`` — ``check``/``synth`` hold the ordinary query payloads,
+    ``error`` a parse failure (which counts as one failure but does not
+    abort the sweep).
+    """
+    record: dict = {"file": str(path), "failures": 0, "cached": 0, "fresh": 0}
+    try:
+        program = parse_program(path.read_text())
+    except (OSError, ParseError) as error:
+        record["error"] = str(error)
+        record["failures"] = 1
+        return record
+    if program.definitions:
+        payload, was_cached, _ = api.check_query(program, cache=cache, backend=backend)
+        record["check"] = payload
+        record["failures"] += payload["failures"]
+        record["cached" if was_cached else "fresh"] += 1
+    if program.goals:
+        payload, was_cached, _ = api.synth_query(
+            program,
+            depth=depth,
+            max_conditionals=max_conditionals,
+            max_matches=max_matches,
+            cache=cache,
+            backend=backend,
+        )
+        record["synth"] = payload
+        record["failures"] += payload["failures"]
+        record["cached" if was_cached else "fresh"] += 1
+    return record
+
+
+def run_batch(
+    root: str,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    lemma_store: Optional[LemmaStore] = None,
+    depth: int = 4,
+    max_conditionals: int = 1,
+    max_matches: int = 1,
+) -> dict:
+    """Sweep ``root`` and return the batch report.
+
+    ``{"files": [record, ...], "failures", "queries", "cached",
+    "elapsed", "cache": counters-or-None}`` — everything except
+    ``elapsed`` (and the counters) is deterministic, which is what the
+    cold-vs-warm determinism test pins down.
+    """
+    paths = discover_files(root)
+    local = threading.local()
+    stacks: List[WarmStack] = []
+    stacks_lock = threading.Lock()
+
+    def stack() -> WarmStack:
+        if getattr(local, "stack", None) is None:
+            local.stack = WarmStack(lemma_store)
+            with stacks_lock:
+                stacks.append(local.stack)
+        return local.stack
+
+    def job(path: Path) -> dict:
+        worker = stack()
+        with worker.query() as backend:
+            return screen_file(
+                path,
+                cache=cache,
+                backend=backend,
+                depth=depth,
+                max_conditionals=max_conditionals,
+                max_matches=max_matches,
+            )
+
+    started = time.monotonic()
+    if jobs <= 1:
+        records = [job(path) for path in paths]
+    else:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            records = list(pool.map(job, paths))
+    for worker in stacks:
+        worker.flush_lemmas()
+    return {
+        "files": records,
+        "failures": sum(record["failures"] for record in records),
+        "queries": sum(record["cached"] + record["fresh"] for record in records),
+        "cached": sum(record["cached"] for record in records),
+        "elapsed": time.monotonic() - started,
+        "cache": cache.stats() if cache is not None else None,
+    }
+
+
+def render_report(report: dict, out) -> None:
+    """The batch report as the CLI prints it: one line per file plus the
+    summary line (hit/miss counters included so a throughput run can be
+    eyeballed without ``/stats``)."""
+    for record in report["files"]:
+        if "error" in record:
+            print(f"{record['file']}: ERROR — {record['error']}", file=out)
+            continue
+        verbs = []
+        for verb in ("check", "synth"):
+            if verb in record:
+                ok = record[verb]["failures"] == 0
+                verbs.append(f"{verb} {'ok' if ok else 'FAILED'}")
+        detail = ", ".join(verbs) if verbs else "nothing to do"
+        source = "cache" if record["cached"] and not record["fresh"] else "solver"
+        print(f"{record['file']}: {detail} [{source}]", file=out)
+    counters = report["cache"]
+    cache_note = (
+        f"{counters['hits']} hits / {counters['misses']} misses"
+        if counters is not None
+        else "disabled"
+    )
+    print(
+        f"batch: {len(report['files'])} files, {report['failures']} failures, "
+        f"cache: {cache_note}, {report['elapsed']:.2f}s",
+        file=out,
+    )

@@ -1,0 +1,199 @@
+"""The synthesis service: a long-running stdlib HTTP/JSON server.
+
+``python -m repro serve`` boots a :class:`ThreadingHTTPServer` (no
+dependencies beyond the standard library) that keeps one warm
+:class:`~repro.service.worker.WarmStack` alive across requests and
+answers four routes:
+
+===========  ======  ====================================================
+``/healthz``  GET    liveness: ``{"status": "ok", "version": ...}``
+``/stats``    GET    cache + worker counters (hits, misses, queries, ...)
+``/check``    POST   ``{"program": "<.sq source>", "workers"?: int}``
+``/synth``    POST   ``{"program": "<.sq source>", "only"?, "depth"?,
+                     "max_conditionals"?, "max_matches"?, "recheck"?}``
+===========  ======  ====================================================
+
+POST responses wrap the ordinary query payloads (see
+:mod:`repro.service.api`) as ``{"digest", "cached", "result"}`` — the
+same structures the CLI renders, so a client can diff server answers
+against local runs byte for byte.  Errors are JSON too: ``400`` for a
+malformed body, a parse error, or an unknown goal; ``404`` for any other
+path.  Solver work is serialized through the stack's lock (the SAT core
+is single-threaded state); the threaded server still overlaps request
+I/O, and cached answers never touch the solver at all.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from ..syntax.parser import ParseError, parse_program
+from ..version import package_version
+from . import api
+from .cache import LemmaStore, ResultCache, open_cache
+from .worker import WarmStack
+
+#: Request bodies beyond this are rejected outright (64 MiB of ``.sq``
+#: source is not a synthesis query, it is a mistake).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _BadRequest(Exception):
+    """A client error: reported as a 400 with the message as JSON."""
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """One request against the shared :class:`ReproServer` state."""
+
+    server_version = f"repro-service/{package_version()}"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, body: dict) -> None:
+        data = json.dumps(body, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _json_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0 or length > MAX_BODY_BYTES:
+            raise _BadRequest("expected a JSON body with Content-Length")
+        try:
+            body = json.loads(self.rfile.read(length))
+        except ValueError as error:
+            raise _BadRequest(f"malformed JSON body: {error}") from error
+        if not isinstance(body, dict):
+            raise _BadRequest("JSON body must be an object")
+        return body
+
+    def _program(self, body: dict):
+        source = body.get("program")
+        if not isinstance(source, str):
+            raise _BadRequest("missing `program`: the .sq source text")
+        try:
+            return parse_program(source)
+        except ParseError as error:
+            raise _BadRequest(f"parse error: {error}") from error
+
+    @staticmethod
+    def _int(body: dict, key: str, default: int) -> int:
+        value = body.get(key, default)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise _BadRequest(f"`{key}` must be an integer")
+        return value
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._reply(200, {"status": "ok", "version": package_version()})
+        elif self.path == "/stats":
+            self._reply(200, self.server.service_stats())
+        else:
+            self._reply(404, {"error": f"no such route: {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if self.path == "/check":
+                self._reply(200, self._handle_check(self._json_body()))
+            elif self.path == "/synth":
+                self._reply(200, self._handle_synth(self._json_body()))
+            else:
+                self._reply(404, {"error": f"no such route: {self.path}"})
+        except _BadRequest as error:
+            self._reply(400, {"error": str(error)})
+
+    def _handle_check(self, body: dict) -> dict:
+        program = self._program(body)
+        workers = self._int(body, "workers", 1)
+        server: ReproServer = self.server
+        with server.stack.query() as backend:
+            payload, cached, digest = api.check_query(
+                program, workers=workers, cache=server.cache, backend=backend
+            )
+        server.stack.flush_lemmas()
+        return {"digest": digest, "cached": cached, "result": payload}
+
+    def _handle_synth(self, body: dict) -> dict:
+        program = self._program(body)
+        only = body.get("only")
+        if only is not None and not isinstance(only, str):
+            raise _BadRequest("`only` must be a goal name")
+        server: ReproServer = self.server
+        try:
+            with server.stack.query() as backend:
+                payload, cached, digest = api.synth_query(
+                    program,
+                    only=only,
+                    depth=self._int(body, "depth", 4),
+                    max_conditionals=self._int(body, "max_conditionals", 1),
+                    max_matches=self._int(body, "max_matches", 1),
+                    cache=server.cache,
+                    backend=backend,
+                    recheck=bool(body.get("recheck", False)),
+                )
+        except api.UnknownGoal as error:
+            raise _BadRequest(f"no signature for goal `{error}`") from error
+        server.stack.flush_lemmas()
+        return {"digest": digest, "cached": cached, "result": payload}
+
+
+class ReproServer(ThreadingHTTPServer):
+    """The service process: HTTP front, one warm stack, one cache."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8729,
+        cache: Optional[ResultCache] = None,
+        lemma_store: Optional[LemmaStore] = None,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__((host, port), ServiceHandler)
+        self.cache = cache
+        self.verbose = verbose
+        self.stack = WarmStack(lemma_store)
+
+    def service_stats(self) -> dict:
+        return {
+            "version": package_version(),
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "worker": self.stack.stats(),
+        }
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8729,
+    cache_dir: Optional[str] = None,
+    no_cache: bool = False,
+    verbose: bool = False,
+    out=None,
+) -> int:
+    """Run the service until interrupted (the ``serve`` verb's body)."""
+    cache, lemma_store = open_cache(cache_dir, enabled=not no_cache)
+    server = ReproServer(host, port, cache, lemma_store, verbose)
+    if out is not None:
+        where = cache.root if cache is not None else "disabled"
+        print(f"repro service on http://{host}:{server.server_port} (cache: {where})", file=out)
+        out.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stack.flush_lemmas()
+        server.server_close()
+    return 0

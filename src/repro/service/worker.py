@@ -1,0 +1,90 @@
+"""Warm solver stacks: one persistent incremental backend per worker.
+
+A cold ``python -m repro`` invocation pays the full stack setup on every
+query: a fresh SAT core, a fresh theory, every formula re-encoded, every
+theory lemma re-learned.  A :class:`WarmStack` keeps **one**
+:class:`repro.smt.solver.IncrementalSolver` alive across queries — the
+same reuse a single synthesis run already gets from its shared session
+backend, extended to *many* programs: encodings are keyed by interned
+formulas, theory lemmas are valid sentences, so nothing a previous
+program asserted can contaminate the next one's answers (sessions only
+ever assert inside ``scoped()`` frames, which unwind even on error).
+
+Each query runs inside :meth:`WarmStack.query`, which guards the backend
+with an extra scope and — should a query die mid-flight — discards the
+whole backend rather than trust a half-unwound one (``resets`` counts
+how often that paranoia fired).  When a :class:`~repro.service.cache.
+LemmaStore` is attached, the stack imports the persisted lemma pool into
+every fresh backend and merges newly learned lemmas back on
+:meth:`flush_lemmas` — the cross-run half of the warm start.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ..smt.solver import IncrementalSolver
+from .cache import LemmaStore
+
+
+class WarmStack:
+    """A reusable backend plus the bookkeeping ``/stats`` reports."""
+
+    def __init__(self, lemma_store: Optional[LemmaStore] = None) -> None:
+        self.lemma_store = lemma_store
+        self.queries = 0
+        self.resets = 0
+        self.lemmas_imported = 0
+        self.lemmas_flushed = 0
+        self._lock = threading.Lock()
+        self.backend = self._fresh_backend()
+
+    def _fresh_backend(self) -> IncrementalSolver:
+        backend = IncrementalSolver()
+        if self.lemma_store is not None:
+            self.lemmas_imported += backend.import_theory_lemmas(self.lemma_store.load())
+        return backend
+
+    def reset(self) -> None:
+        """Replace the backend (after a failed query left it suspect)."""
+        self.resets += 1
+        self.backend = self._fresh_backend()
+
+    @contextmanager
+    def query(self) -> Iterator[IncrementalSolver]:
+        """One query's exclusive use of the warm backend.
+
+        Serializes queries (the SAT core is single-threaded state), opens
+        a guard scope so any assertion the query leaks is popped, and
+        resets the backend if the query raises.
+        """
+        with self._lock:
+            self.queries += 1
+            backend = self.backend
+            backend.push()
+            try:
+                yield backend
+            except Exception:
+                self.reset()
+                raise
+            else:
+                backend.pop()
+
+    def flush_lemmas(self) -> int:
+        """Merge this backend's learned lemmas into the persistent pool."""
+        if self.lemma_store is None:
+            return 0
+        with self._lock:
+            exported = self.backend.export_theory_lemmas()
+        self.lemmas_flushed = len(exported)
+        return self.lemma_store.merge(exported)
+
+    def stats(self) -> dict:
+        return {
+            "queries": self.queries,
+            "resets": self.resets,
+            "lemmas_imported": self.lemmas_imported,
+            "lemmas_flushed": self.lemmas_flushed,
+        }

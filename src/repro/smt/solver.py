@@ -725,6 +725,54 @@ class IncrementalSolver(SolverBackend):
         self._sat.add_lemma(clause)
         self.statistics.lemmas_generalized += 1
 
+    # -- lemma export/import (the service's cross-run cache) -----------------
+
+    def export_theory_lemmas(self) -> List[Tuple[Tuple[Formula, bool], ...]]:
+        """The learned theory lemmas in alpha-canonical form.
+
+        Each lemma is the canonical key of one generalized conflict: a
+        tuple of ``(atom, polarity)`` pairs over ``?gN``-renamed variables
+        whose conjunction is theory-unsatisfiable.  Canonical lemmas are
+        valid sentences of the pure theory (EUF + LIA) — independent of
+        any particular query — so they can be persisted across runs and
+        replayed into a fresh solver (:meth:`import_theory_lemmas`); the
+        service cache uses exactly this as its warm-start payload.
+        """
+        return sorted(self._lemma_keys, key=repr)
+
+    def import_theory_lemmas(
+        self, lemmas: Sequence[Tuple[Tuple[Formula, bool], ...]]
+    ) -> int:
+        """Adopt previously exported alpha-canonical lemmas.
+
+        Each lemma joins the generalization index exactly as if its
+        conflict had been learned here: future atoms interned with a
+        matching canonical shape trigger propositional replay
+        (:meth:`_instantiate_entry`), so a warm-started solver refutes the
+        recurring conflicts of earlier runs by unit propagation.  Returns
+        how many lemmas were new to this solver.
+        """
+        imported = 0
+        for lemma in lemmas:
+            key = tuple(
+                (intern_formula(atom), bool(polarity)) for atom, polarity in lemma
+            )
+            if not key or len(key) > _GENERALIZE_LIMIT or key in self._lemma_keys:
+                continue
+            self._lemma_keys.add(key)
+            anchored: Set[Formula] = set()
+            for atom, _ in key:
+                if atom in anchored:
+                    continue
+                anchored.add(atom)
+                canon, order = self._canonical_atom(atom)
+                entry = (order, key)
+                self._lemma_index.setdefault(canon, []).append(entry)
+                for existing in self._atoms_by_canon.get(canon, ()):
+                    self._instantiate_entry(entry, self._canonical_atom(existing)[1])
+            imported += 1
+        return imported
+
     def _make_selector(self, formula: Formula) -> Optional[int]:
         self.statistics.encoded_assertions += 1
         processed = self._preprocess(formula)

@@ -107,17 +107,21 @@ class SynthesisGoal:
         )
 
     def session_environment(
-        self, literals: Optional[Sequence[object]] = None
+        self, literals: Optional[Sequence[object]] = None, backend: Optional[object] = None
     ) -> Tuple[TypecheckSession, Environment]:
         """A fresh session and the component environment, constructors
         included.  ``literals`` are the formulas joining every qualifier
         space (default: the literal ``0``); the synthesizer passes the
         logical form of its own term-literal pool so that abduced
-        conditions can mention exactly the constants enumeration can."""
+        conditions can mention exactly the constants enumeration can.
+        ``backend`` substitutes a shared incremental SMT backend for the
+        session's own — the service's warm workers pass one so repeated
+        queries reuse encodings and theory lemmas across requests."""
         session = TypecheckSession(
             literals=[ops.int_lit(0)] if literals is None else literals,
             datatypes=self.datatypes,
             measure_defs=self.measures,
+            backend=backend,
         )
         env = session.bind_constructors(EMPTY)
         for name, rtype in self.components:
@@ -158,6 +162,7 @@ class Synthesizer:
         max_conditionals: int = 1,
         max_matches: int = 1,
         literals: Sequence[Term] = (IntConst(0),),
+        backend: Optional[object] = None,
     ) -> None:
         self.goal = goal
         self.max_depth = max_depth
@@ -173,7 +178,10 @@ class Synthesizer:
             for term in self.literals
             if isinstance(term, (IntConst, BoolConst))
         )
-        self.session, self.base_env = goal.session_environment(self._formula_literals)
+        # The search runs on `backend` when given (a warm worker's shared
+        # solver); verification below always builds a fresh session, so a
+        # warm backend can never vouch for its own search's result.
+        self.session, self.base_env = goal.session_environment(self._formula_literals, backend)
         #: The goal's free type variables are parametric: enumeration never
         #: instantiates them with concrete types (see rigid_shape_match).
         self.rigid = frozenset(free_type_variables(goal.goal))

@@ -145,6 +145,22 @@ class TestEndToEnd:
             "smt.lia-chain",
             "smt.stutter-deep",
         } == set(smt)
+        service = gate.load_means(root / "BENCH_service.json")
+        assert {
+            "service.batch-cold",
+            "service.batch-warm",
+            "service.server-check",
+        } == set(service)
+
+    def test_committed_service_baseline_witnesses_cache_hits(self):
+        """The warm-sweep case must record full cache reuse — hit counters
+        are what make its wall-clock number meaningful."""
+        root = SCRIPT.parent.parent
+        counters = gate.load_counters(root / "BENCH_service.json")
+        warm = counters["service.batch-warm"]
+        assert warm["cache_hits"] == warm["queries"] > 0
+        assert warm["cache_misses"] == 0
+        assert counters["service.batch-cold"]["cache_hits"] == 0
 
     def test_committed_smt_baseline_exercises_new_counters(self):
         """At least one committed benchmark must witness theory propagation

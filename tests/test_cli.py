@@ -70,6 +70,13 @@ class TestUsageErrors:
         code, _ = run(["--help"])
         assert code == EXIT_OK
 
+    def test_version_exits_zero_and_reports_package_version(self, capsys):
+        from repro.version import package_version
+
+        code, _ = run(["--version"])
+        assert code == EXIT_OK
+        assert package_version() in capsys.readouterr().out
+
 
 class TestCheck:
     def test_accepted_definition(self, tmp_path):
@@ -225,3 +232,31 @@ class TestWorkersFlag:
         code, _ = run(["check", "--help"])
         assert code == EXIT_OK
         assert "--workers" in capsys.readouterr().out
+
+
+class TestCacheFlags:
+    def test_every_verb_takes_cache_flags(self, capsys):
+        for verb in ("check", "synth", "batch", "serve"):
+            code, _ = run([verb, "--help"])
+            assert code == EXIT_OK
+            text = capsys.readouterr().out
+            assert "--cache-dir" in text and "--no-cache" in text
+
+    def test_one_shot_verbs_stay_stateless_by_default(self, tmp_path, monkeypatch):
+        """Without --cache-dir (or REPRO_CACHE_DIR) a plain check writes
+        no cache directory anywhere."""
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        source = tmp_path / "ok.sq"
+        source.write_text(CHECK_SQ)
+        code, _ = run(["check", str(source)])
+        assert code == EXIT_OK
+        assert not (tmp_path / ".repro-cache").exists()
+
+    def test_env_var_opts_one_shot_verbs_in(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        source = tmp_path / "ok.sq"
+        source.write_text(CHECK_SQ)
+        code, _ = run(["check", str(source)])
+        assert code == EXIT_OK
+        assert list((tmp_path / "envcache").glob("objects/*/*.json"))
