@@ -36,6 +36,7 @@ WORKLOADS = [
     ("synth.stutter", "stutter.sq", "stutter", 4),
     ("synth.length", "list.sq", "length", 3),
     ("synth.append", "list.sq", "append", 4),
+    ("synth.sign", "sign.sq", "sign", 3),
 ]
 
 

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Per-file coverage floors on top of a ``coverage json`` report.
+
+The global ``--cov-fail-under`` gate can mask a critical file going dark
+as long as the rest of the tree compensates; this check pins named files
+to their own floors.  CI runs it right after pytest-cov::
+
+    python scripts/check_file_coverage.py --report coverage.json \\
+        --require src/repro/synth/conditions.py=90
+
+Each ``--require`` is ``<path>=<min percent>`` with the path as recorded
+in the report (repo-relative).  Exit code 1 when any file is below its
+floor or missing from the report entirely (a renamed file silently
+escaping its floor must fail, not pass).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+
+def parse_requirement(spec: str):
+    path, _, floor = spec.rpartition("=")
+    if not path:
+        raise argparse.ArgumentTypeError(f"expected <path>=<min percent>, got {spec!r}")
+    return path, float(floor)
+
+
+def file_percent(report: dict, path: str):
+    """The line coverage percent of ``path`` in the report, or ``None``."""
+    files = report.get("files", {})
+    entry = files.get(path)
+    if entry is None:
+        # coverage.py keys by the measured path; tolerate os-specific
+        # separators and leading "./" without guessing further.
+        normalized = {name.replace("\\", "/").lstrip("./"): value for name, value in files.items()}
+        entry = normalized.get(path.replace("\\", "/").lstrip("./"))
+    if entry is None:
+        return None
+    return entry["summary"]["percent_covered"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report", type=Path, default=Path("coverage.json"))
+    parser.add_argument(
+        "--require",
+        action="append",
+        type=parse_requirement,
+        required=True,
+        metavar="PATH=PCT",
+        help="file-level floor, e.g. src/repro/synth/conditions.py=90 (repeatable)",
+    )
+    args = parser.parse_args()
+
+    report = json.loads(args.report.read_text())
+    failures = []
+    lines = []
+    for path, floor in args.require:
+        percent = file_percent(report, path)
+        if percent is None:
+            failures.append(f"{path} missing from {args.report}")
+            continue
+        lines.append(f"{path} {percent:.1f}% (floor {floor:.0f}%)")
+        if percent < floor:
+            failures.append(f"{path} {percent:.2f}% < {floor:.2f}%")
+
+    verdict = "FAIL" if failures else "OK"
+    detail = "; ".join(failures if failures else lines)
+    print(f"file coverage [{args.report}]: {verdict} — {detail}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

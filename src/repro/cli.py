@@ -151,6 +151,7 @@ def _run_synth(program: Program, path: str, args, out: TextIO) -> int:
                 cache=cache,
                 backend=backend,
                 recheck=args.recheck,
+                workers=args.workers,
             )
     except api.UnknownGoal:
         raise _CliError(f"{path}: no signature for goal `{args.only}`") from None
@@ -202,8 +203,8 @@ def _add_synth_limits(command) -> None:
     command.add_argument(
         "--max-conditionals",
         type=int,
-        default=1,
-        help="how many nested abduced conditionals to allow (default 1)",
+        default=2,
+        help="how many nested abduced conditionals to allow (default 2)",
     )
     command.add_argument(
         "--max-matches",
@@ -237,6 +238,16 @@ def _build_parser() -> argparse.ArgumentParser:
     synth = commands.add_parser("synth", help="synthesize every `name = ??` goal in a .sq file")
     synth.add_argument("file", help="the .sq source file")
     _add_synth_limits(synth)
+    synth.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for each condition abduction's candidate-set "
+            "portfolio (default 1 = serial; results are identical either way)"
+        ),
+    )
     synth.add_argument("--only", metavar="NAME", help="synthesize just this goal")
     synth.add_argument(
         "--quiet", action="store_true", help="suppress the enumeration statistics line"

@@ -61,11 +61,20 @@ class HornConstraint:
         return not isinstance(self.conclusion, Unknown)
 
     def premise_unknowns(self) -> FrozenSet[str]:
-        """Names of unknowns occurring in the premises."""
-        names = set()
-        for premise in self.premises:
-            names |= formula_unknowns(premise)
-        return frozenset(names)
+        """Names of unknowns occurring in the premises.
+
+        Memoized: the candidate search's pruning sweep calls this once per
+        (queued candidate, known MUS) pair, and the premise walk over big
+        environment embeddings would dominate the whole search otherwise.
+        """
+        cached = self.__dict__.get("_premise_unknowns")
+        if cached is None:
+            names = set()
+            for premise in self.premises:
+                names |= formula_unknowns(premise)
+            cached = frozenset(names)
+            object.__setattr__(self, "_premise_unknowns", cached)
+        return cached
 
     def unknowns(self) -> FrozenSet[str]:
         """Names of all unknowns occurring in the constraint."""
@@ -76,8 +85,13 @@ class HornConstraint:
     def concrete_premises(self) -> Tuple[Formula, ...]:
         """The unknown-free premises — the hard facts that hold regardless
         of any valuation.  MUS enumeration checks tentative valuations of
-        premise-position unknowns for consistency against exactly these."""
-        return tuple(p for p in self.premises if not formula_unknowns(p))
+        premise-position unknowns for consistency against exactly these.
+        Memoized like :meth:`premise_unknowns`."""
+        cached = self.__dict__.get("_concrete_premises")
+        if cached is None:
+            cached = tuple(p for p in self.premises if not formula_unknowns(p))
+            object.__setattr__(self, "_concrete_premises", cached)
+        return cached
 
     # -- diagnostics ---------------------------------------------------------
 

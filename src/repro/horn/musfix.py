@@ -1,15 +1,17 @@
 """MUSFix: MARCO-style enumeration of minimal unsatisfiable subsets.
 
 The candidate-set Horn search (Sec. 5 of the paper) prunes its frontier
-wholesale: when a definite constraint fails under a candidate, the subsets
-of an abducible unknown's qualifier space that are *inconsistent with the
-constraint's concrete premises* can never be part of any solution — a
-guard containing them is unestablishable where the constraint demands it,
-so the constraint could only ever be satisfied vacuously.  Those doomed
-regions are summarized by their minimal elements: **minimal unsatisfiable
-subsets** (MUSes) of the qualifier pool relative to the constraint's
-unknown-free premises.  Every candidate whose valuation contains a known
-MUS is dropped without a single theory query.
+wholesale: the subsets of an abducible unknown's qualifier space that are
+*inconsistent with a constraint's concrete premises* make that constraint
+hold only vacuously — the guard renders its program point unreachable.
+Those regions are summarized by their minimal elements: **minimal
+unsatisfiable subsets** (MUSes) of the qualifier pool relative to one
+constraint's unknown-free premises.  A MUS against a *single* constraint
+is a lemma, not yet a death sentence (killing one match arm is what a
+branch condition is for); a candidate is dropped — without a single
+theory query — once known MUSes refute one of its guards in **every**
+context demanding that unknown (:meth:`MusFixSolver.dooms_everywhere`),
+which makes the guard unsatisfiable at its own declaration point.
 
 Enumeration is the MARCO algorithm (Liffiton et al.): a propositional
 "map" solver — one persistent :class:`repro.smt.sat.SatSolver` per
@@ -41,6 +43,7 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 from ..logic.formulas import Formula
 from ..smt.interface import SolverBackend
 from ..smt.sat import SatSolver
+from ..smt.sets import mentions_sets
 from .constraints import HornConstraint
 from .spaces import QualifierSpace
 
@@ -98,6 +101,16 @@ class MusFixSolver:
         #: portfolio lemma bus), as frozensets plus the ordered originals.
         self._mus_sets: Dict[HornConstraint, List[FrozenSet[Formula]]] = {}
         self._mus_order: Dict[HornConstraint, List[Tuple[Formula, ...]]] = {}
+        #: Vacuity memo keyed by (concrete premises, valuation): many
+        #: constraints share one premise context (same program point), so
+        #: one theory check answers for all of them.  The value is the
+        #: shrunk inconsistent core, or ``None`` when consistent.
+        self._vacuity: Dict[
+            Tuple[Tuple[Formula, ...], FrozenSet[Formula]], Optional[Tuple[Formula, ...]]
+        ] = {}
+        #: Premise tuples found contradictory on their own: their vacuity
+        #: entries are blanket bookkeeping, not model evidence.
+        self._dead_contexts: set = set()
 
     # -- the MARCO loop ------------------------------------------------------
 
@@ -238,6 +251,45 @@ class MusFixSolver:
         self.statistics.candidates_pruned += len(candidates) - len(survivors)
         return list(survivors)
 
+    def prune_everywhere(
+        self,
+        candidates: Sequence[Dict[str, Sequence[Formula]]],
+        mentioning: Mapping[str, Sequence[HornConstraint]],
+    ) -> List[Dict[str, Sequence[Formula]]]:
+        """Drop every candidate some valuation of which is known-vacuous in
+        *all* of its demanding contexts (see :meth:`dooms_everywhere`)."""
+        survivors = [c for c in candidates if not self.dooms_everywhere(c, mentioning)]
+        self.statistics.candidates_pruned += len(candidates) - len(survivors)
+        return survivors
+
+    def dooms_everywhere(
+        self,
+        candidate: CandidateLike,
+        mentioning: Mapping[str, Sequence[HornConstraint]],
+    ) -> bool:
+        """Does some valuation of ``candidate`` contain a known MUS of
+        *every* constraint mentioning that unknown?
+
+        A guard inconsistent with one demanding context merely makes that
+        program point unreachable — a legitimate branch condition.  Only a
+        guard refuted in **all** the contexts where its unknown is demanded
+        (equivalently, at the weakest of them — its own declaration point)
+        is unestablishable outright, so this is the sound frontier prune
+        for condition abduction.  MUS knowledge is partial (budgeted), so
+        a ``False`` here is only "not yet known doomed".
+        """
+        for name, valuation in candidate.items():
+            constrs = mentioning.get(name)
+            if not constrs or not valuation:
+                continue
+            members = set(valuation)
+            if all(
+                any(mus <= members for mus in self._mus_sets.get(constr, []))
+                for constr in constrs
+            ):
+                return True
+        return False
+
     def dooms(self, candidate: CandidateLike, constraint: Optional[HornConstraint] = None) -> bool:
         """Does ``candidate`` contain a known MUS (of ``constraint``, or of
         any constraint when none is given)?"""
@@ -258,6 +310,93 @@ class MusFixSolver:
                     return True
         return False
 
+    def note_live(self, constraint: HornConstraint, qualifier: Formula) -> None:
+        """Record outside model evidence that ``qualifier`` is consistent
+        with the constraint's concrete premises — a free ``None`` entry in
+        the vacuity memo, no theory check spent.
+
+        Only sound on *raw-occurrence* evidence: the caller must have seen
+        a model of the premises satisfying ``qualifier`` itself (not some
+        substituted instance of it).
+        """
+        key = (constraint.concrete_premises(), frozenset((qualifier,)))
+        self._vacuity.setdefault(key, None)
+
+    def prefill_contexts(
+        self, constraints: Sequence[HornConstraint], qualifiers: Sequence[Formula]
+    ) -> None:
+        """Prefill vacuity over several demanding contexts of one unknown,
+        strongest (most premises) first, flowing live verdicts down the
+        premise-subset order: a model of a superset context is a model of
+        every subset context, so liveness there is liveness here for free.
+        Dead contexts prove nothing — their blanket ``None`` entries are
+        bookkeeping, not models — and are never propagated from.
+        """
+        ordered = sorted(constraints, key=lambda c: -len(c.concrete_premises()))
+        for index, constr in enumerate(ordered):
+            self.prefill_vacuity(constr, qualifiers)
+            hard = constr.concrete_premises()
+            if hard in self._dead_contexts:
+                continue
+            strong = set(hard)
+            live = [
+                q
+                for q in qualifiers
+                if (hard, frozenset((q,))) in self._vacuity
+                and self._vacuity[(hard, frozenset((q,)))] is None
+            ]
+            for weaker in ordered[index + 1:]:
+                weak_hard = weaker.concrete_premises()
+                if weak_hard == hard or not set(weak_hard) <= strong:
+                    continue
+                for q in live:
+                    self._vacuity.setdefault((weak_hard, frozenset((q,))), None)
+
+    def prefill_vacuity(
+        self, constraint: HornConstraint, qualifiers: Sequence[Formula]
+    ) -> None:
+        """Memoize singleton vacuity for a whole qualifier pool at once.
+
+        One model of the constraint's concrete premises certifies every
+        qualifier it satisfies as live; only the leftovers get individual
+        probes, all under premises asserted a single time.  The candidate
+        search calls this on a failure so the per-candidate
+        :meth:`is_vacuous` checks at the next level are memo hits.
+        """
+        hard = constraint.concrete_premises()
+        pending = [q for q in qualifiers if (hard, frozenset((q,))) not in self._vacuity]
+        if not pending or any(mentions_sets(f) for f in tuple(hard) + tuple(pending)):
+            return
+        with self._backend.scoped():
+            for premise in hard:
+                self._backend.assert_(premise)
+            self.statistics.theory_checks += 1
+            values = self._backend.check_evaluating(pending)
+            if values is None:
+                # Dead context: contradictory premises never count
+                # against a guard.
+                self._dead_contexts.add(hard)
+                for q in pending:
+                    self._vacuity[(hard, frozenset((q,)))] = None
+                return
+            remaining = []
+            for q, value in zip(pending, values):
+                if value is True:
+                    self._vacuity[(hard, frozenset((q,)))] = None
+                else:
+                    remaining.append(q)
+            # Probe the leftovers individually (the premises stay asserted
+            # and each qualifier's selector is cached, so every probe is
+            # one incremental solve).
+            for q in remaining:
+                key = (hard, frozenset((q,)))
+                self.statistics.theory_checks += 1
+                if self._backend.check_assuming((q,)):
+                    self._vacuity[key] = None
+                else:
+                    self._vacuity[key] = (q,)
+                    self._record_mus(constraint, (q,))
+
     def is_vacuous(self, constraint: HornConstraint, valuation: Sequence[Formula]) -> bool:
         """Is ``valuation`` inconsistent with the constraint's concrete
         premises (so the constraint only holds vacuously under it)?
@@ -272,13 +411,22 @@ class MusFixSolver:
         if any(mus <= members for mus in self._mus_sets.get(constraint, [])):
             return True
         hard = constraint.concrete_premises()
+        memo_key = (hard, frozenset(valuation))
+        if memo_key in self._vacuity:
+            core = self._vacuity[memo_key]
+            if core is None:
+                return False
+            self._record_mus(constraint, core)
+            return True
         with self._backend.scoped():
             for premise in hard:
                 self._backend.assert_(premise)
             self.statistics.theory_checks += 1
             if self._backend.check_assuming(valuation):
+                self._vacuity[memo_key] = None
                 return False
             if not self._backend.check_assuming(()):
+                self._vacuity[memo_key] = None
                 return False  # the premises alone are contradictory
             core = list(valuation)
             for q in list(core):
@@ -286,6 +434,7 @@ class MusFixSolver:
                 self.statistics.theory_checks += 1
                 if not self._backend.check_assuming(trial):
                     core = trial
+        self._vacuity[memo_key] = tuple(core)
         self._record_mus(constraint, tuple(core))
         return True
 

@@ -97,7 +97,6 @@ def solve_portfolio(
     opts = options if options is not None else SolveOptions()
     coordinator = solver if solver is not None else HornSolver()
     space_map = as_space_map(spaces)
-    abducible_names = sorted(n for n, sp in space_map.items() if sp.abducible)
 
     root = coordinator.search_candidates(constraints, space_map, opts, explore_limit=1)
     solutions: List[Assignment] = list(root.solutions)
@@ -122,7 +121,7 @@ def solve_portfolio(
     groups = [branches[i::workers] for i in range(workers) if branches[i::workers]]
 
     if not groups:
-        return coordinator.assemble_solution(constraints, solutions, failed, opts, abducible_names)
+        return coordinator.assemble_solution(constraints, solutions, failed, opts, space_map)
 
     payload = (tuple(constraints), dict(space_map), opts)
     outcomes: List[BranchOutcome] = []
@@ -167,4 +166,4 @@ def solve_portfolio(
             coordinator.statistics.merge(stats)
             coordinator.statistics.lemmas_shared += shared_count
 
-    return coordinator.assemble_solution(constraints, solutions, failed, opts, abducible_names)
+    return coordinator.assemble_solution(constraints, solutions, failed, opts, space_map)

@@ -54,8 +54,9 @@ from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..logic import ops
-from ..logic.formulas import Formula
+from ..logic.formulas import Formula, Unknown
 from ..logic.substitution import apply_assignment, substitute
+from ..logic.transform import unknowns as formula_unknowns
 from ..smt.interface import SolverBackend
 from ..smt.sets import mentions_sets
 from ..smt.solver import IncrementalSolver
@@ -165,9 +166,26 @@ def _candidate_key(candidate: Assignment) -> Tuple:
     return tuple(sorted(candidate.items(), key=lambda item: item[0]))
 
 
-def _solution_order_key(assignment: Assignment, names: Sequence[str]) -> Tuple:
-    guards = [(name, tuple(repr(q) for q in assignment.get(name, ()))) for name in sorted(names)]
-    return (sum(len(quals) for _, quals in guards), guards)
+def _solution_order_key(
+    assignment: Assignment, names: Sequence[str], spaces: Dict[str, QualifierSpace]
+) -> Tuple:
+    """Sort key: total guard size, then per-space qualifier indices.
+
+    Positions in each space's fixed qualifier order — not reprs — so the
+    weakest survivor is the one a smallest-first, pool-order subset walk
+    (``itertools.combinations`` over the space) would reach first; the
+    brute-force abduction oracle relies on that agreement.
+    """
+    guards = []
+    for name in sorted(names):
+        quals = assignment.get(name, ())
+        space = spaces.get(name)
+        if space is not None:
+            key: Tuple = tuple(sorted(space.index_of(q) for q in quals))
+        else:
+            key = tuple(sorted(repr(q) for q in quals))
+        guards.append((name, key))
+    return (sum(len(key) for _, key in guards), guards)
 
 
 def filter_dominated(
@@ -195,9 +213,108 @@ def filter_dominated(
     return kept
 
 
-def order_solutions(solutions: Sequence[Assignment], names: Sequence[str]) -> List[Assignment]:
+def order_solutions(
+    solutions: Sequence[Assignment],
+    names: Sequence[str],
+    spaces: Dict[str, QualifierSpace],
+) -> List[Assignment]:
     """Deterministic weakest-first order, stable across processes."""
-    return sorted(solutions, key=lambda sol: _solution_order_key(sol, names))
+    return sorted(solutions, key=lambda sol: _solution_order_key(sol, names, spaces))
+
+
+def screen_singletons(
+    backend: SolverBackend,
+    statistics: "HornStatistics",
+    constraints: Sequence[HornConstraint],
+    name: str,
+    qualifiers: Sequence[Formula],
+    musfix: Optional[MusFixSolver] = None,
+) -> Optional[Dict[Formula, Optional[HornConstraint]]]:
+    """Classify every singleton valuation of ``name`` against a *flat*
+    definite system in a handful of countermodel sweeps.
+
+    Returns ``{qualifier: first refuting constraint, or None if valid
+    everywhere}`` — or ``None`` when the system is not flat (weakening
+    constraints, other unknowns, nested unknown occurrences, set atoms)
+    and the per-candidate fixpoint must run instead.
+
+    The trick: under ``premises && !conclusion`` asserted once, a single
+    SAT model convicts every qualifier it satisfies, and narrowing with
+    the disjunction of the still-open qualifiers forces each further model
+    to convict at least one more.  A 20-qualifier pool typically resolves
+    in 2-4 solver calls per constraint instead of 20 grounded fixpoints.
+    Constraints are processed in order and convicted qualifiers skipped,
+    so each qualifier's refuter is the *first* failing constraint —
+    exactly what the sequential fixpoint would report.
+    """
+    plan = []
+    for constr in constraints:
+        if not constr.is_definite():
+            return None
+        subs = []
+        for premise in constr.premises:
+            if isinstance(premise, Unknown):
+                if premise.name != name:
+                    return None
+                subs.append(dict(premise.substitution))
+            elif formula_unknowns(premise):
+                return None  # an unknown nested under connectives
+        involved = list(constr.premises) + [constr.conclusion] + list(qualifiers)
+        if any(mentions_sets(f) for f in involved if not isinstance(f, Unknown)):
+            return None
+        plan.append((constr, subs))
+
+    verdicts: Dict[Formula, Optional[HornConstraint]] = {q: None for q in qualifiers}
+    for constr, subs in plan:
+        pending = [q for q in qualifiers if verdicts[q] is None]
+        if not pending:
+            break
+        if not subs:
+            # The constraint ignores the abducible: one verdict for all.
+            statistics.validity_checks += 1
+            if not backend.is_valid_implication(list(constr.premises), constr.conclusion):
+                for q in pending:
+                    verdicts[q] = constr
+            continue
+        # Raw occurrences (no substitution) double as vacuity evidence:
+        # any countermodel satisfies the premises, so the qualifiers it
+        # makes true are consistent with them — free ``note_live`` entries
+        # that spare the vacuity prefill a theory probe each.  A
+        # substituted occurrence proves things about ``q[σ]``, not ``q``.
+        raw = musfix is not None and all(not sub for sub in subs)
+        applied = {
+            q: ops.conj([substitute(q, sub) if sub else q for sub in subs]) for q in qualifiers
+        }
+        with backend.scoped():
+            for premise in constr.concrete_premises():
+                backend.assert_(premise)
+            backend.assert_(ops.not_(constr.conclusion))
+            statistics.validity_checks += 1
+            # The whole pool is evaluated (not just the pending guards):
+            # convicted guards need no further verdict, but their truth
+            # values in the model are free vacuity harvest.
+            values = backend.check_evaluating([applied[q] for q in qualifiers])
+            if values is None:
+                continue  # no countermodel at all: every guard valid here
+            value_of = dict(zip(qualifiers, values))
+            if raw:
+                for q, value in value_of.items():
+                    if value is True:
+                        musfix.note_live(constr, q)
+            for q in pending:
+                if value_of[q] is True:
+                    verdicts[q] = constr
+                    continue
+                # The model leaves this guard open: probe it individually
+                # (the premises and negated conclusion stay asserted, and
+                # the guard's selector is cached, so each probe is one
+                # incremental solve).
+                statistics.validity_checks += 1
+                if backend.check_assuming((applied[q],)):
+                    verdicts[q] = constr
+                    if raw:
+                        musfix.note_live(constr, q)
+    return verdicts
 
 
 def resolve_options(options: Optional[SolveOptions], minimize: Optional[bool]) -> SolveOptions:
@@ -214,9 +331,23 @@ def resolve_options(options: Optional[SolveOptions], minimize: Optional[bool]) -
 class HornSolver:
     """Solves systems of Horn constraints over predicate unknowns."""
 
-    def __init__(self, backend: Optional[SolverBackend] = None) -> None:
+    def __init__(
+        self,
+        backend: Optional[SolverBackend] = None,
+        validity_memo: Optional[Dict[Tuple[Tuple[Formula, ...], Formula], bool]] = None,
+    ) -> None:
         self._backend = backend if backend is not None else IncrementalSolver()
         self.statistics = HornStatistics()
+        # Validity of a *grounded* implication is a pure function of its
+        # formulas, and the candidate-set search re-derives the same
+        # grounded constraints for every candidate that leaves them
+        # untouched — so verdicts are memoized for the solver's lifetime.
+        # A caller owning many solver runs (the typecheck session during
+        # enumeration) may pass a shared ``validity_memo`` so the verdicts
+        # outlive any single run.
+        self._validity_memo: Dict[Tuple[Tuple[Formula, ...], Formula], bool] = (
+            validity_memo if validity_memo is not None else {}
+        )
 
     @property
     def backend(self) -> SolverBackend:
@@ -283,16 +414,29 @@ class HornSolver:
 
         Each candidate fixes every abducible unknown to a subset of its
         space (in canonical space order); the classic fixpoint core runs on
-        the grounded system.  A solved candidate joins the solution set
-        unless it is vacuous (its guard contradicts a mentioning
-        constraint's concrete premises).  A failed candidate feeds the
-        failing constraint to the MUS enumerator, prunes the frontier, and
+        the grounded system.  A candidate is rejected as *vacuous* when a
+        guard contradicts the concrete premises of **every** constraint
+        mentioning its unknown — refuted even in the weakest demanding
+        context (its declaration point), it is unestablishable outright.
+        Contradicting only *some* contexts is fine: such a guard merely
+        makes those program points unreachable, which is exactly what a
+        branch condition is for.  A failed candidate feeds the failing
+        constraint to the MUS enumerator, prunes the frontier, and
         branches into its single-qualifier strengthenings.
 
         ``roots`` seeds the frontier (default: the all-``True`` candidate);
         ``lemmas`` pre-loads MUSes learned elsewhere (the portfolio bus);
         ``explore_limit`` caps candidates evaluated this call, leaving the
         rest in ``frontier``.
+
+        The search is *level-stopped*: the queue is size-ordered, so once
+        a solution of total guard size ``k`` exists, the first pop of a
+        size-``> k`` candidate ends the search (everything deeper is
+        either a superset of a solution or a strictly stronger guard no
+        weakest-first caller wants).  The level holding the solution is
+        always finished first, so every minimal-size solution is found.
+        A space's :attr:`~repro.horn.spaces.QualifierSpace.max_conjuncts`
+        additionally stops branching past that valuation size.
         """
         opts = options if options is not None else SolveOptions()
         space_map = as_space_map(spaces)
@@ -305,6 +449,17 @@ class HornSolver:
         musfix = MusFixSolver(space_map, backend=self._backend, budget=opts.mus_budget)
         if lemmas:
             self.statistics.lemmas_shared += musfix.import_muses(lemmas)
+
+        # The demanding contexts of each abducible: one representative
+        # constraint per distinct concrete-premise tuple, weakest first so
+        # the all-contexts vacuity check short-circuits fast on live guards.
+        mentioning: Dict[str, List[HornConstraint]] = {name: [] for name in abducibles}
+        for name in abducibles:
+            contexts = {}
+            for constr in constraints:
+                if name in constr.premise_unknowns():
+                    contexts.setdefault(constr.concrete_premises(), constr)
+            mentioning[name] = sorted(contexts.values(), key=lambda c: len(c.concrete_premises()))
 
         if roots is None:
             roots = [{name: () for name in sorted(abducibles)}]
@@ -320,12 +475,27 @@ class HornSolver:
         solution_guards: List[Dict[str, FrozenSet[Formula]]] = []
         failed_constr: Optional[HornConstraint] = None
         explored = 0
+        best_size: Optional[int] = None
+
+        # Flat systems (one abducible, no positives) get their whole
+        # size-1 level classified by countermodel sweeps instead of one
+        # grounded fixpoint per candidate; built lazily on the first
+        # size-1 pop so a root that solves outright pays nothing.
+        single_name = min(abducibles) if len(abducibles) == 1 and not positives else None
+        screen: Optional[Dict[Formula, Optional[HornConstraint]]] = None
+        screen_built = False
 
         while queue and explored < explore_limit and len(solutions) < capacity:
             candidate = queue.popleft()
+            size = sum(len(candidate[name]) for name in abducibles)
+            if best_size is not None and size > best_size:
+                # Level stop: a weaker solution exists and this whole level
+                # (the queue is size-ordered) can only strengthen it.
+                queue.appendleft(candidate)
+                break
             explored += 1
             self.statistics.candidates_explored += 1
-            if musfix.dooms(candidate):
+            if musfix.dooms_everywhere(candidate, mentioning):
                 self.statistics.candidates_pruned += 1
                 continue
             guard = {name: frozenset(candidate[name]) for name in abducibles}
@@ -333,36 +503,84 @@ class HornSolver:
                 all(prev[name] <= guard[name] for name in abducibles) for prev in solution_guards
             ):
                 continue  # dominated: a weaker solution already covers it
+            if self._vacuous(musfix, mentioning, candidate):
+                # Checked *before* the fixpoint: a vacuous guard's whole
+                # superset cone is vacuous too, so the recorded MUS prunes
+                # it at the smallest level instead of after n fixpoints.
+                self.statistics.candidates_pruned += 1
+                continue
 
-            valuations = {name: ops.conj(quals) for name, quals in candidate.items()}
-            grounded = [substitute_unknowns(c, valuations) for c in constraints]
-            sub = self._solve_fixpoint(grounded, positives)
+            if single_name is not None and size == 1 and not screen_built:
+                screen_built = True
+                screen = screen_singletons(
+                    self._backend,
+                    self.statistics,
+                    constraints,
+                    single_name,
+                    abducibles[single_name].qualifiers,
+                    musfix,
+                )
+            if (
+                screen is not None
+                and size == 1
+                and candidate[single_name]
+                and candidate[single_name][0] in screen
+            ):
+                solved = screen[candidate[single_name][0]] is None
+                original = screen[candidate[single_name][0]]
+                assignment: Assignment = {}
+            else:
+                valuations = {name: ops.conj(quals) for name, quals in candidate.items()}
+                grounded = [substitute_unknowns(c, valuations) for c in constraints]
+                sub = self._solve_fixpoint(grounded, positives)
+                solved = sub.solved
+                assignment = sub.assignment
+                original = sub.failed
+                for orig, ground in zip(constraints, grounded):
+                    if ground is sub.failed:
+                        original = orig
+                        break
 
-            if sub.solved:
-                if self._vacuous(musfix, constraints, candidate):
-                    self.statistics.candidates_pruned += 1
-                    continue
-                full = dict(sub.assignment)
+            if solved:
+                full = dict(assignment)
                 full.update(candidate)
                 solutions.append(full)
                 solution_guards.append(guard)
+                if best_size is None or size < best_size:
+                    best_size = size
                 continue
 
-            original = sub.failed
-            for orig, ground in zip(constraints, grounded):
-                if ground is sub.failed:
-                    original = orig
-                    break
             failed_constr = original
             assert original is not None
             repairable = sorted(n for n in original.premise_unknowns() if n in abducibles)
+            if single_name is not None and not screen_built:
+                # Build the screen on the *first* failure (usually the
+                # all-``True`` root): its countermodels feed the vacuity
+                # harvest, so it must run before the prefill below or the
+                # prefill re-proves every harvested liveness the hard way.
+                screen_built = True
+                screen = screen_singletons(
+                    self._backend,
+                    self.statistics,
+                    constraints,
+                    single_name,
+                    abducibles[single_name].qualifiers,
+                    musfix,
+                )
             for name in repairable:
-                musfix.enumerate_muses(original, abducibles[name].qualifiers)
+                # Enumerate against every demanding context, not just the
+                # failing constraint: dooming needs a refutation in all of
+                # them before a candidate may be dropped.
+                musfix.prefill_contexts(mentioning[name], abducibles[name].qualifiers)
+                for rep in mentioning[name]:
+                    musfix.enumerate_muses(rep, abducibles[name].qualifiers)
             if repairable and len(queue):
-                queue = deque(musfix.prune_candidates(list(queue), original))
+                queue = deque(musfix.prune_everywhere(list(queue), mentioning))
             for name in repairable:
                 space = abducibles[name]
                 current = set(candidate[name])
+                if space.max_conjuncts is not None and len(current) >= space.max_conjuncts:
+                    continue  # guard at its size cap: no further strengthening
                 for qualifier in space.qualifiers:
                     if qualifier in current:
                         continue
@@ -374,7 +592,7 @@ class HornSolver:
                     if key in seen:
                         continue
                     seen.add(key)
-                    if musfix.dooms(successor):
+                    if musfix.dooms_everywhere(successor, mentioning):
                         self.statistics.candidates_pruned += 1
                         continue
                     if len(queue) < capacity:
@@ -394,14 +612,19 @@ class HornSolver:
     def _vacuous(
         self,
         musfix: MusFixSolver,
-        constraints: Sequence[HornConstraint],
+        mentioning: Dict[str, List[HornConstraint]],
         candidate: Assignment,
     ) -> bool:
-        """Does some guard contradict a mentioning constraint's premises?"""
-        for constr in constraints:
-            for name in constr.premise_unknowns():
-                if candidate.get(name) and musfix.is_vacuous(constr, candidate[name]):
-                    return True
+        """Does some guard contradict *every* demanding context of its
+        unknown?  (Contexts whose premises are contradictory on their own
+        don't count against the guard — :meth:`MusFixSolver.is_vacuous`
+        answers ``False`` for those.)"""
+        for name, constrs in mentioning.items():
+            valuation = candidate.get(name)
+            if not valuation or not constrs:
+                continue
+            if all(musfix.is_vacuous(constr, valuation) for constr in constrs):
+                return True
         return False
 
     def _solve_candidates(
@@ -411,8 +634,9 @@ class HornSolver:
         options: SolveOptions,
     ) -> HornSolution:
         result = self.search_candidates(constraints, space_map, options)
-        names = sorted(n for n, sp in space_map.items() if sp.abducible)
-        return self.assemble_solution(constraints, result.solutions, result.failed, options, names)
+        return self.assemble_solution(
+            constraints, result.solutions, result.failed, options, space_map
+        )
 
     def assemble_solution(
         self,
@@ -420,10 +644,28 @@ class HornSolver:
         solutions: Sequence[Assignment],
         failed: Optional[HornConstraint],
         options: SolveOptions,
-        abducible_names: Sequence[str],
+        spaces: SpacesLike,
     ) -> HornSolution:
-        """Rank surviving candidates weakest-first into a :class:`HornSolution`."""
-        survivors = order_solutions(filter_dominated(solutions, abducible_names), abducible_names)
+        """Rank surviving candidates weakest-first into a :class:`HornSolution`.
+
+        Only minimal-total-size solutions survive; deeper ones are either
+        supersets of a minimal guard or strictly stronger strengthenings no
+        weakest-first caller wants.  Because every search (serial, or each
+        portfolio branch) finishes the level a solution lives on before
+        stopping, the minimal level is explored exhaustively everywhere —
+        which is what makes this filter process-count independent.
+        """
+        space_map = as_space_map(spaces)
+        names = sorted(n for n, sp in space_map.items() if sp.abducible)
+
+        def total_size(sol: Assignment) -> int:
+            return sum(len(sol.get(name, ())) for name in names)
+
+        solutions = list(solutions)
+        if solutions:
+            best = min(total_size(sol) for sol in solutions)
+            solutions = [sol for sol in solutions if total_size(sol) == best]
+        survivors = order_solutions(filter_dominated(solutions, names), names, space_map)
         survivors = survivors[: max(1, options.max_candidates)]
         if not survivors:
             return HornSolution(False, {}, failed=failed)
@@ -454,12 +696,71 @@ class HornSolver:
                     changed = True
 
         solution = HornSolution(True, dict(assignment))
-        for constr in definite:
-            if not self._constraint_valid(constr, assignment):
-                solution.solved = False
-                solution.failed = constr
-                return solution
+        failed = self._first_invalid_definite(definite, assignment)
+        if failed is not None:
+            solution.solved = False
+            solution.failed = failed
         return solution
+
+    def _first_invalid_definite(
+        self,
+        definite: Sequence[HornConstraint],
+        assignment: Assignment,
+    ) -> Optional[HornConstraint]:
+        """First definite constraint the assignment does not validate.
+
+        Grounded constraints sharing a premises tuple (the common case in
+        abduction, where one goal splits into per-conjunct constraints
+        under the same context) are probed in one backend solve: the
+        premises and the negated conjunction of conclusions are asserted
+        once, and on SAT the counterexample model convicts every
+        conclusion it falsifies.  Only conclusions the model leaves open
+        fall back to an individual validity check, so the first-failure
+        order of the sequential scan is preserved exactly.
+        """
+        grounded = []
+        groups: Dict[Tuple[Formula, ...], List[Formula]] = {}
+        for constr in definite:
+            premises = tuple(apply_assignment(p, assignment) for p in constr.premises)
+            conclusion = apply_assignment(constr.conclusion, assignment)
+            grounded.append((constr, premises, conclusion))
+            groups.setdefault(premises, []).append(conclusion)
+        probed = set()
+        for constr, premises, conclusion in grounded:
+            key = (premises, conclusion)
+            if key not in self._validity_memo and premises not in probed:
+                probed.add(premises)
+                self._probe_group(premises, groups[premises])
+            verdict = self._validity_memo.get(key)
+            if verdict is None:
+                self.statistics.validity_checks += 1
+                verdict = self._backend.is_valid_implication(list(premises), conclusion)
+                self._validity_memo[key] = verdict
+            if not verdict:
+                return constr
+        return None
+
+    def _probe_group(self, premises: Tuple[Formula, ...], conclusions: List[Formula]) -> None:
+        """One batched probe resolving as many of the group's verdicts as
+        a single model can; results land in the validity memo."""
+        pending = [c for c in conclusions if (premises, c) not in self._validity_memo]
+        if not pending:
+            return
+        if any(mentions_sets(f) for f in list(premises) + pending):
+            return  # set atoms need the exact one-shot pipeline
+        self.statistics.validity_checks += 1
+        with self._backend.scoped():
+            for premise in premises:
+                self._backend.assert_(premise)
+            self._backend.assert_(ops.not_(ops.conj(pending)))
+            values = self._backend.check_evaluating(pending)
+        if values is None:
+            for conclusion in pending:
+                self._validity_memo[(premises, conclusion)] = True
+            return
+        for conclusion, value in zip(pending, values):
+            if value is False:
+                self._validity_memo[(premises, conclusion)] = False
 
     @staticmethod
     def _initial_assignment(
@@ -535,8 +836,14 @@ class HornSolver:
     def _constraint_valid(self, constr: HornConstraint, assignment: Assignment) -> bool:
         premises = [apply_assignment(p, assignment) for p in constr.premises]
         conclusion = apply_assignment(constr.conclusion, assignment)
+        key = (tuple(premises), conclusion)
+        cached = self._validity_memo.get(key)
+        if cached is not None:
+            return cached
         self.statistics.validity_checks += 1
-        return self._backend.is_valid_implication(premises, conclusion)
+        verdict = self._backend.is_valid_implication(premises, conclusion)
+        self._validity_memo[key] = verdict
+        return verdict
 
     # -- weakest-solution minimization ---------------------------------------
 

@@ -32,11 +32,18 @@ class QualifierSpace:
     disjunctive inference of Sec. 5 of the paper).  Ordinary unknowns keep
     the greatest-fixpoint treatment: start strongest, weaken to a unique
     maximal fixpoint.
+
+    ``max_conjuncts`` bounds how many qualifiers a single abducible
+    valuation may conjoin — condition abduction caps guards at a small
+    size so the search terminates on unabducible goals at the same depth
+    the brute-force subset walk did.  ``None`` leaves the valuation size
+    unbounded (the whole power set of the space is reachable).
     """
 
     unknown: str
     qualifiers: Tuple[Formula, ...]
     abducible: bool = False
+    max_conjuncts: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.qualifiers)

@@ -129,9 +129,10 @@ def compute_synth(
     program: Program,
     only: Optional[str] = None,
     depth: int = 4,
-    max_conditionals: int = 1,
+    max_conditionals: int = 2,
     max_matches: int = 1,
     backend=None,
+    workers: int = 1,
 ) -> dict:
     """Synthesize every goal (or just ``only``); the ``synth`` payload."""
     goals = list(program.goals)
@@ -149,6 +150,7 @@ def compute_synth(
             max_conditionals=max_conditionals,
             max_matches=max_matches,
             backend=backend,
+            workers=workers,
         )
         result = synthesizer.synthesize()
         item = {
@@ -170,11 +172,12 @@ def synth_query(
     program: Program,
     only: Optional[str] = None,
     depth: int = 4,
-    max_conditionals: int = 1,
+    max_conditionals: int = 2,
     max_matches: int = 1,
     cache: Optional[ResultCache] = None,
     backend=None,
     recheck: bool = False,
+    workers: int = 1,
 ) -> Tuple[dict, bool, str]:
     """``synth`` through the cache: ``(payload, was_cached, digest)``."""
     if only is not None and only not in program.signatures:
@@ -184,6 +187,7 @@ def synth_query(
         "depth": depth,
         "max_conditionals": max_conditionals,
         "max_matches": max_matches,
+        "workers": workers,
     }
     digest = query_digest("synth", program, options)
     if cache is not None:
@@ -191,7 +195,9 @@ def synth_query(
         if payload is not None:
             if not recheck or recheck_synth_payload(program, payload):
                 return payload, True, digest
-    payload = compute_synth(program, only, depth, max_conditionals, max_matches, backend)
+    payload = compute_synth(
+        program, only, depth, max_conditionals, max_matches, backend, workers
+    )
     if cache is not None:
         cache.put(digest, payload)
     return payload, False, digest

@@ -49,7 +49,7 @@ def screen_file(
     cache: Optional[ResultCache] = None,
     backend=None,
     depth: int = 4,
-    max_conditionals: int = 1,
+    max_conditionals: int = 2,
     max_matches: int = 1,
 ) -> dict:
     """One file through the query layer; the per-file batch record.
@@ -92,7 +92,7 @@ def run_batch(
     cache: Optional[ResultCache] = None,
     lemma_store: Optional[LemmaStore] = None,
     depth: int = 4,
-    max_conditionals: int = 1,
+    max_conditionals: int = 2,
     max_matches: int = 1,
 ) -> dict:
     """Sweep ``root`` and return the batch report.

@@ -136,7 +136,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     program,
                     only=only,
                     depth=self._int(body, "depth", 4),
-                    max_conditionals=self._int(body, "max_conditionals", 1),
+                    max_conditionals=self._int(body, "max_conditionals", 2),
                     max_matches=self._int(body, "max_matches", 1),
                     cache=server.cache,
                     backend=backend,

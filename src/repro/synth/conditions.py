@@ -13,30 +13,49 @@ variable), so abduction reuses the same unknowns, spaces, and incremental
 backend as ordinary liquid inference.
 
 Because ``C`` occurs only in premises (a *negative* position), the
-greatest-fixpoint solver cannot weaken it — and a greedy subset
-minimization of the strongest valuation is order-fragile (it can return a
-minimal-but-strong conjunction such as ``x == 0 && y == 0`` where
-``y <= x`` suffices).  Weakest-first search does the right thing: try
-conjunctions of the space smallest-first (the empty conjunction is
-``True``; then single qualifiers; then pairs, up to ``max_conjuncts``),
-accepting the first one that validates every constraint *and* is
-consistent with the environment.  Smaller conjunctions are logically
-weaker, so the first hit is the weakest abducible condition up to the
-space's granularity.  Inconsistent conditions are rejected because they
-validate the branch vacuously and no executable guard can establish them.
+greatest-fixpoint solver cannot weaken it.  :func:`abduce_condition`
+therefore re-marks ``C``'s space ``abducible`` and hands the system to
+:meth:`~repro.horn.solver.HornSolver.solve`'s candidate-set search: the
+frontier BFS strengthens ``C`` from ``True`` one qualifier at a time
+(capped at ``max_conjuncts``), MARCO-style MUS enumeration
+(:mod:`repro.horn.musfix`) prunes every candidate guard containing a
+known-inconsistent core, vacuous guards (ones contradicting **every**
+demanding context — equivalently, unsatisfiable at the abduction point
+itself, so no executable branch could ever take them; contradicting only
+a deeper context, say one match arm, is what a branch condition is *for*)
+are rejected, and with ``SolveOptions(max_workers > 1)``
+the branches fan out across the process portfolio, MUS lemmas flowing
+between them.  The search is level-stopped, so the surviving candidates
+are exactly the minimal-size solutions; :func:`_weakest_guards` then
+drops the ones another survivor strictly entails, and the result is the
+weakest-guard *antichain* — several genuinely incomparable conditions
+when the goal is disjunctive.  The synthesizer realizes them in order,
+falling to the next member when no Boolean E-term establishes one.
+
+The pre-candidate-set searcher — a brute-force smallest-first subset walk
+over the pool — is kept as :func:`_abduce_brute_force`.  It is the
+differential oracle: ``tests/test_conditions_differential.py`` asserts
+both paths agree on hundreds of randomized instances.  (Its original
+greedy form was order-fragile: minimizing the *strongest* valuation can
+return a minimal-but-strong conjunction such as ``x == 0 && y == 0``
+where ``y <= x`` suffices.  Both paths now settle ties by logical
+entailment, so the answer is the weakest guard regardless of pool order —
+``tests/test_synth_disjunctive.py`` pins that with shuffled pools.)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from itertools import combinations
+from math import comb
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..horn.constraints import substitute_unknowns
-from ..horn.solver import HornSolver
+from ..horn.solver import HornSolver, HornStatistics, SolveOptions
 from ..horn.spaces import QualifierSpace
 from ..logic import ops
-from ..logic.formulas import Formula
+from ..logic.formulas import Binary, BinaryOp, Formula
+from ..smt.interface import SolverBackend
 from ..syntax.terms import Term
 from ..syntax.types import RType
 from ..typecheck.environment import Environment
@@ -46,13 +65,17 @@ from ..typecheck.session import TypecheckSession
 
 @dataclass(frozen=True)
 class AbducedCondition:
-    """The weakest path condition under which a branch candidate checks.
+    """The weakest path conditions under which a branch candidate checks.
 
-    ``qualifiers`` is the abduced conjunction, smallest-first search order;
-    an empty tuple means the candidate checks unconditionally.
+    ``candidates`` is the surviving antichain, weakest first: every member
+    is a minimal conjunction of pool qualifiers validating the branch, and
+    no member entails another.  ``qualifiers`` stays the chosen (first,
+    weakest) member, so existing callers keep working; an empty tuple
+    means the candidate checks unconditionally.
     """
 
     qualifiers: Tuple[Formula, ...]
+    candidates: Tuple[Tuple[Formula, ...], ...] = ()
 
     @property
     def formula(self) -> Formula:
@@ -63,6 +86,31 @@ class AbducedCondition:
         return not self.qualifiers
 
 
+#: The symmetric comparison operators: ``a OP b`` and ``b OP a`` are the
+#: same qualifier, and instantiation generates both orientations.
+_SYMMETRIC_OPS = frozenset({BinaryOp.EQ, BinaryOp.NEQ})
+
+
+def _dedupe_pool(pool: Sequence[Formula]) -> Tuple[Formula, ...]:
+    """Drop argument-flipped duplicates of symmetric qualifiers (``y == x``
+    after ``x == y``), keeping the first orientation seen.
+
+    Guards built from either orientation are logically identical, so the
+    flips only widen the candidate lattice.  Both abduction paths share
+    this filter — the differential oracle must walk the same pool.
+    """
+    kept: List[Formula] = []
+    seen = set()
+    for qualifier in pool:
+        if isinstance(qualifier, Binary) and qualifier.op in _SYMMETRIC_OPS:
+            key = (qualifier.op, frozenset((qualifier.lhs, qualifier.rhs)))
+            if key in seen:
+                continue
+            seen.add(key)
+        kept.append(qualifier)
+    return tuple(kept)
+
+
 def abduce_condition(
     session: TypecheckSession,
     env: Environment,
@@ -70,19 +118,105 @@ def abduce_condition(
     goal: RType,
     where: str = "abduce",
     max_conjuncts: int = 2,
+    options: Optional[SolveOptions] = None,
+    stats: Optional[HornStatistics] = None,
 ) -> Optional[AbducedCondition]:
-    """The weakest qualifier-space condition validating ``candidate``
+    """The weakest qualifier-space conditions validating ``candidate``
     against ``goal``, or ``None`` when no consistent condition of at most
     ``max_conjuncts`` qualifiers does.
 
     The candidate's constraints are collected in a trial scope (no
-    residue); the weakest-first search then re-solves the system once per
-    tentative condition, every query running on the session's shared
-    incremental backend.
+    residue); ``C``'s space is then re-inserted marked ``abducible`` and
+    the whole system goes through the candidate-set Horn search on the
+    session's shared incremental backend.  ``options`` defaults to the
+    session's :attr:`~repro.typecheck.session.TypecheckSession.
+    solve_options` (worker count, MUS budget); ``stats`` — when given —
+    accumulates the solver's search counters.
+    """
+    opts = options if options is not None else session.solve_options
+    with session.trial():
+        unknown = session.fresh_unknown(env, None, kind="C")
+        pool = _dedupe_pool(session.spaces[unknown.name].qualifiers)
+        try:
+            session.check(env.assume(unknown), candidate, goal, where)
+        except TypecheckError:
+            return None
+        constraints = list(session.constraints)
+        spaces: Dict[str, QualifierSpace] = {
+            name: qspace
+            for name, qspace in session.spaces.items()
+            if name != unknown.name
+        }
+    # Sound fail-fast: grounding ``C`` at the conjunction of the *whole*
+    # pool is the strongest condition the space can express, and validity
+    # is monotone in strengthening a premise-position unknown (stronger
+    # premises prove more, and the positives' greatest fixpoint only
+    # grows).  If even that leaves the system unsolvable, no guard of any
+    # size helps — one fixpoint run settles unabducible candidates that
+    # would otherwise walk the whole sublattice.
+    if pool:
+        strongest = {unknown.name: ops.conj(pool)}
+        grounded = [substitute_unknowns(constr, strongest) for constr in constraints]
+        prefilter = HornSolver(session.backend, validity_memo=session._validity_memo)
+        if not prefilter.solve(grounded, spaces).solved:
+            return None
+
+    spaces[unknown.name] = QualifierSpace(
+        unknown.name, pool, abducible=True, max_conjuncts=max_conjuncts
+    )
+    # The frontier must hold the whole <= max_conjuncts sublattice of the
+    # pool: a capacity-truncated queue would silently skip guards the
+    # brute-force oracle tries, breaking differential agreement.
+    lattice = sum(comb(len(pool), size) for size in range(max_conjuncts + 1))
+    # MUS discovery during abduction comes almost entirely from vacuity
+    # witnesses (shrunk on the spot, a handful of theory probes each); a
+    # big MARCO budget would re-derive them by blind enumeration over the
+    # whole pool at every constraint failure, so keep it small here.
+    opts = replace(
+        opts,
+        max_candidates=max(opts.max_candidates, lattice),
+        minimize=False,
+        mus_budget=min(opts.mus_budget, 8),
+    )
+
+    solver = HornSolver(session.backend, validity_memo=session._validity_memo)
+    solution = solver.solve(constraints, spaces, opts)
+    if stats is not None:
+        stats.merge(solver.statistics)
+    if not solution.solved:
+        return None
+    guards = [tuple(member.get(unknown.name, ())) for member in solution.candidates]
+    antichain = _weakest_guards(session.backend, env.embedding(), guards)
+    return AbducedCondition(antichain[0], tuple(antichain))
+
+
+def _abduce_brute_force(
+    session: TypecheckSession,
+    env: Environment,
+    candidate: Term,
+    goal: RType,
+    where: str = "abduce",
+    max_conjuncts: int = 2,
+) -> Optional[AbducedCondition]:
+    """The pre-candidate-set searcher, kept as the differential oracle.
+
+    Tries conjunctions of the pool smallest-first (the empty conjunction
+    is ``True``; then single qualifiers; then pairs, up to
+    ``max_conjuncts``), collecting every consistent subset at the first
+    size where any validates all constraints — smaller conjunctions are
+    logically weaker, so that size holds the weakest abducible conditions
+    up to the space's granularity.  A subset is rejected as *vacuous*
+    when it contradicts the concrete premises of **every** live
+    constraint context mentioning ``C`` — exactly the candidate-set
+    path's rule (refuted even at the abduction point itself, such a
+    guard is unestablishable; killing only a deeper context is a
+    legitimate branch condition).  Ties inside the size are settled
+    exactly like the candidate-set path: :func:`_weakest_guards` by
+    entailment.
     """
     with session.trial():
         unknown = session.fresh_unknown(env, None, kind="C")
-        space = session.spaces[unknown.name].qualifiers
+        pool = _dedupe_pool(session.spaces[unknown.name].qualifiers)
         try:
             session.check(env.assume(unknown), candidate, goal, where)
         except TypecheckError:
@@ -94,21 +228,74 @@ def abduce_condition(
             if name != unknown.name
         }
 
-    solver = HornSolver(session.backend)
+    solver = HornSolver(session.backend, validity_memo=session._validity_memo)
     context = env.embedding()
+    contexts = {
+        constr.concrete_premises()
+        for constr in constraints
+        if unknown.name in constr.premise_unknowns()
+    }
+    # A context whose premises are contradictory on their own is dead
+    # regardless of the guard, so it cannot count against one.
+    live = [hard for hard in contexts if _consistent(session, hard, ())]
     for size in range(0, max_conjuncts + 1):
-        for subset in combinations(space, size):
-            if subset and not _consistent(session, context, subset):
+        hits: List[Tuple[Formula, ...]] = []
+        for subset in combinations(pool, size):
+            if subset and live and all(
+                not _consistent(session, hard, subset) for hard in live
+            ):
                 continue
             condition = {unknown.name: ops.conj(subset)}
             grounded = [substitute_unknowns(constr, condition) for constr in constraints]
             if solver.solve(grounded, other_spaces).solved:
-                return AbducedCondition(subset)
+                hits.append(subset)
+        if hits:
+            antichain = _weakest_guards(session.backend, context, hits)
+            return AbducedCondition(antichain[0], tuple(antichain))
     return None
 
 
+def _weakest_guards(
+    backend: SolverBackend,
+    context: Sequence[Formula],
+    guards: Sequence[Tuple[Formula, ...]],
+) -> List[Tuple[Formula, ...]]:
+    """The entailment-weakest antichain of ``guards``, order preserved.
+
+    A guard is dropped when another guard is *strictly* weaker under the
+    environment context (the first entails the second but not vice
+    versa), or when an earlier survivor is logically equivalent.  Same-
+    size guards need this — e.g. ``y < x``, ``y == x`` and ``y <= x`` can
+    all validate a branch, and only ``y <= x`` should survive — and it is
+    what makes the abduced answer independent of pool order.
+    """
+    formulas = [ops.conj(guard) for guard in guards]
+    cache: Dict[Tuple[int, int], bool] = {}
+
+    def entails(i: int, j: int) -> bool:
+        """Does guard ``i`` entail guard ``j`` under the context?"""
+        key = (i, j)
+        if key not in cache:
+            cache[key] = backend.is_valid_implication(
+                list(context) + [formulas[i]], formulas[j]
+            )
+        return cache[key]
+
+    kept: List[int] = []
+    for i in range(len(guards)):
+        strictly_dominated = any(
+            entails(i, j) and not entails(j, i) for j in range(len(guards)) if j != i
+        )
+        if strictly_dominated:
+            continue
+        if any(entails(i, j) and entails(j, i) for j in kept):
+            continue  # equivalent to an earlier survivor
+        kept.append(i)
+    return [tuple(guards[i]) for i in kept]
+
+
 def _consistent(
-    session: TypecheckSession, context: List[Formula], subset: Sequence[Formula]
+    session: TypecheckSession, context: Sequence[Formula], subset: Sequence[Formula]
 ) -> bool:
     """Is the tentative condition satisfiable together with the context?"""
     premises = list(context) + list(subset)

@@ -131,6 +131,13 @@ class EnumerationStatistics:
     goal_checks: int = 0
     #: Branch conditions abduced (issued by the synthesizer).
     abductions: int = 0
+    #: Candidate guard valuations the abduction-side Horn search evaluated
+    #: (folded in from :class:`repro.horn.solver.HornStatistics`).
+    candidates_explored: int = 0
+    #: Guard valuations the MUS machinery pruned without evaluation.
+    candidates_pruned: int = 0
+    #: Minimal unsatisfiable subsets the abduction searches enumerated.
+    muses_enumerated: int = 0
 
     def merge(self, other: "EnumerationStatistics") -> None:
         """Accumulate another run's counters into this one."""
@@ -140,6 +147,15 @@ class EnumerationStatistics:
         self.checked += other.checked
         self.goal_checks += other.goal_checks
         self.abductions += other.abductions
+        self.candidates_explored += other.candidates_explored
+        self.candidates_pruned += other.candidates_pruned
+        self.muses_enumerated += other.muses_enumerated
+
+    def merge_horn(self, horn: object) -> None:
+        """Fold one abduction's Horn search counters into this run."""
+        self.candidates_explored += getattr(horn, "candidates_explored", 0)
+        self.candidates_pruned += getattr(horn, "candidates_pruned", 0)
+        self.muses_enumerated += getattr(horn, "muses_enumerated", 0)
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dict (for reports and benchmarks)."""
@@ -150,6 +166,9 @@ class EnumerationStatistics:
             "checked": self.checked,
             "goal_checks": self.goal_checks,
             "abductions": self.abductions,
+            "candidates_explored": self.candidates_explored,
+            "candidates_pruned": self.candidates_pruned,
+            "muses_enumerated": self.muses_enumerated,
         }
 
 

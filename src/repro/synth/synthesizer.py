@@ -70,6 +70,7 @@ from ..syntax.types import (
 from ..typecheck.checker import elaborate_match_case, recursion_signature
 from ..typecheck.environment import EMPTY, Environment
 from ..typecheck.errors import TerminationError, TypecheckError
+from ..horn.solver import HornStatistics, SolveOptions
 from ..typecheck.session import TypecheckSession
 from .conditions import abduce_condition
 from .enumerator import EnumerationStatistics, ETermEnumerator
@@ -159,15 +160,17 @@ class Synthesizer:
         self,
         goal: SynthesisGoal,
         max_depth: int = 4,
-        max_conditionals: int = 1,
+        max_conditionals: int = 2,
         max_matches: int = 1,
         literals: Sequence[Term] = (IntConst(0),),
         backend: Optional[object] = None,
+        workers: int = 1,
     ) -> None:
         self.goal = goal
         self.max_depth = max_depth
         self.max_conditionals = max_conditionals
         self.max_matches = max_matches
+        self.workers = max(1, workers)
         self.literals: Tuple[Term, ...] = tuple(literals)
         self.statistics = EnumerationStatistics()
         #: The logical form of the term-literal pool: these join every
@@ -182,6 +185,10 @@ class Synthesizer:
         # solver); verification below always builds a fresh session, so a
         # warm backend can never vouch for its own search's result.
         self.session, self.base_env = goal.session_environment(self._formula_literals, backend)
+        # `synth --workers N` reaches abduction through the session's
+        # default solve options: every condition search fans its candidate
+        # branches across the portfolio.
+        self.session.solve_options = SolveOptions(max_workers=self.workers)
         #: The goal's free type variables are parametric: enumeration never
         #: instantiates them with concrete types (see rigid_shape_match).
         self.rigid = frozenset(free_type_variables(goal.goal))
@@ -371,21 +378,52 @@ class Synthesizer:
         match_budget: int,
         matched: FrozenSet[str],
     ) -> Optional[Term]:
+        """An abduced conditional around a failing branch candidate.
+
+        Abduction returns the weakest-guard *antichain*: several
+        incomparable conditions when the candidate's validity region is
+        disjunctive.  Every realizable member (within the conditional
+        budget) guards the *same* then-branch, nested ``if g1 .. else if
+        g2 ..`` — the executable form of the disjunction ``g1 || g2`` —
+        and the final else is synthesized under every guard's refutation.
+        The assembled term is re-checked whole against the goal (the
+        ``coverage`` obligation: each branch under its own path condition,
+        through the ordinary Horn pipeline) before it is returned.
+        """
         for candidate in failures:
             self.statistics.abductions += 1
-            abduced = abduce_condition(self.session, env, candidate, goal)
+            sink = HornStatistics()
+            abduced = abduce_condition(self.session, env, candidate, goal, stats=sink)
+            self.statistics.merge_horn(sink)
             if abduced is None or abduced.is_trivial():
                 continue
-            realized = self._realize_guard(env, enumerator, abduced.formula)
-            if realized is None:
-                continue
-            guard, refuted = realized
-            else_term = self._scalar(
-                env.assume(refuted), goal, cond_budget - 1, match_budget, matched
-            )
-            if else_term is None:
-                continue
-            return IfTerm(guard, candidate, else_term)
+            members = abduced.candidates or (abduced.qualifiers,)
+            realized: List[Tuple[Term, object]] = []
+            guarded_env = env
+            for member in members:
+                if len(realized) >= cond_budget:
+                    break
+                got = self._realize_guard(guarded_env, enumerator, ops.conj(member))
+                if got is None:
+                    continue
+                realized.append(got)
+                guarded_env = guarded_env.assume(got[1])
+            # Weakest-first: try all realized guards, then fall back to
+            # fewer (a shorter chain leaves the else more budget).
+            for keep in range(len(realized), 0, -1):
+                else_env = env
+                for _, refuted in realized[:keep]:
+                    else_env = else_env.assume(refuted)
+                else_term = self._scalar(
+                    else_env, goal, cond_budget - keep, match_budget, matched
+                )
+                if else_term is None:
+                    continue
+                term: Term = else_term
+                for guard, _ in reversed(realized[:keep]):
+                    term = IfTerm(guard, candidate, term)
+                if self.session.try_check(env, term, goal, "coverage").solved:
+                    return term
         return None
 
     def _realize_guard(
@@ -412,6 +450,11 @@ class Synthesizer:
                 truth = simplify(instantiate_value_var(inferred.refinement, TRUE))
                 refuted = simplify(instantiate_value_var(inferred.refinement, FALSE))
                 premises = env.embedding() + [truth]
+                if self.session.backend.is_valid_implication(premises, ops.bool_lit(False)):
+                    # A guard that can never be true here (e.g. `lt x x`)
+                    # entails any condition vacuously but guards only a
+                    # dead branch.
+                    continue
                 if self.session.backend.is_valid_implication(premises, condition):
                     return guard, refuted
         return None

@@ -107,7 +107,17 @@ class TypecheckSession:
         self.measure_defs: Dict[str, MeasureDef] = {}
         self.constraints: List[HornConstraint] = []
         self.spaces: Dict[str, QualifierSpace] = {}
+        #: Default solve options for every solver this session spawns —
+        #: :meth:`solve` calls without explicit ``options`` and condition
+        #: abduction both read it, which is how ``synth --workers`` reaches
+        #: the candidate-set portfolio inside abduction.
+        self.solve_options: SolveOptions = SolveOptions()
         self.last_solver: Optional[HornSolver] = None
+        #: Grounded-implication verdicts shared by every solver this
+        #: session spawns: enumeration re-solves systems sharing most of
+        #: their obligations, and validity is a pure function of the
+        #: formulas, so verdicts stay good across solves (and trials).
+        self._validity_memo: Dict = {}
         self._names = FreshNames(prefix="_")
         for datatype in datatypes:
             self.declare_datatype(datatype)
@@ -350,11 +360,12 @@ class TypecheckSession:
         ``options`` selects minimization, the candidate-frontier width, the
         MUS budget, and the portfolio's worker count (``max_workers > 1``
         fans candidate branches across processes when the system has
-        abducible spaces).  ``minimize`` as a keyword is a one-release
-        deprecation shim for the old boolean API.
+        abducible spaces); omitted, the session's :attr:`solve_options`
+        apply.  ``minimize`` as a keyword is a one-release deprecation shim
+        for the old boolean API.
         """
-        opts = resolve_options(options, minimize)
-        solver = HornSolver(self.backend)
+        opts = resolve_options(options if options is not None else self.solve_options, minimize)
+        solver = HornSolver(self.backend, validity_memo=self._validity_memo)
         self.last_solver = solver
         solution = solver.solve(self.constraints, self.spaces, opts)
         return TypecheckResult(

@@ -162,6 +162,18 @@ class TestEndToEnd:
         assert warm["cache_misses"] == 0
         assert counters["service.batch-cold"]["cache_hits"] == 0
 
+    def test_committed_synth_baseline_witnesses_candidate_search(self):
+        """The synthesis suite must keep at least one benchmark that
+        actually walks the candidate-set Horn search — several guard
+        candidates explored and MUS pruning firing — so a perf regression
+        in disjunctive abduction cannot hide behind guard-free goals."""
+        root = SCRIPT.parent.parent
+        synth = gate.load_counters(root / "BENCH_synth.json")
+        assert "synth.sign" in synth, "the disjunctive benchmark must stay committed"
+        searched = [c for c in synth.values() if c.get("candidates_explored", 0) > 1]
+        assert searched, "no committed benchmark explores multiple guard candidates"
+        assert any(c.get("muses_enumerated", 0) > 0 for c in searched)
+
     def test_committed_smt_baseline_exercises_new_counters(self):
         """At least one committed benchmark must witness theory propagation
         and lemma generalization actually firing."""

@@ -258,12 +258,14 @@ class TestSessionBackend:
         queries_after_first = backend.statistics.sat_queries
         assert queries_after_first > 0
         # a second solve on the same session reuses the same backend (and
-        # its learned state); the solver object is fresh each time
+        # its learned state); the solver object is fresh each time, but the
+        # session's shared validity memo answers every grounded implication
+        # it has already settled — an identical re-solve is query-free
         first_solver = session.last_solver
         assert session.solve().solved
         assert session.last_solver is not first_solver
         assert session.last_solver.backend is backend
-        assert backend.statistics.sat_queries > queries_after_first
+        assert backend.statistics.sat_queries == queries_after_first
         # re-asserted premises were not re-encoded
         assert backend.statistics.reused_assertions > 0
 
