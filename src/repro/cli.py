@@ -17,7 +17,8 @@ All verbs render from the payload structures of
 was computed fresh or served from the cache.  Exit codes follow the
 contract documented in ``docs/cli.md``: ``0`` success, ``1`` refuted /
 unsynthesized / failing files, ``2`` usage, unreadable-file, or parse
-errors.
+errors — and budget exhaustion (``--timeout-ms``), which is "no answer",
+not "answer: no".
 """
 
 from __future__ import annotations
@@ -38,6 +39,9 @@ from .version import package_version
 EXIT_OK = 0
 EXIT_FAILURE = 1
 EXIT_USAGE = 2
+#: Budget exhaustion shares the usage code: like a bad invocation it
+#: means the question was not answered, unlike 1 (which means "no").
+EXIT_TIMEOUT = 2
 
 
 class _CliError(Exception):
@@ -89,12 +93,21 @@ def _render_check(payload: dict, path: str, out: TextIO) -> int:
             print(f"{item['name']}: OK", file=out)
         elif item["status"] == "rejected":
             print(f"{item['name']}: REJECTED — {item['message']}", file=out)
+        elif item["status"] == "unknown":
+            print(f"{item['name']}: UNKNOWN — {item['message']}", file=out)
         else:
             print(f"{item['name']}: skipped (synthesis goal; run `synth`)", file=out)
     if payload.get("note") == "no-definitions":
         # A file of signatures and goals is valid input with nothing to do —
         # not an error (the exit-code contract reserves 1 for refutations).
         print(f"{path}: no definitions to check (only signatures or goals)", file=out)
+    if payload.get("timeout"):
+        print(
+            f"{path}: budget exhausted — {payload.get('unknowns', 0)} "
+            "definition(s) unknown",
+            file=out,
+        )
+        return EXIT_TIMEOUT
     return EXIT_FAILURE if payload["failures"] else EXIT_OK
 
 
@@ -102,7 +115,11 @@ def _run_check(program: Program, path: str, args, out: TextIO) -> int:
     cache, stack = _open_query_cache(args)
     with stack.query() as backend:
         payload, _, _ = api.check_query(
-            program, workers=args.workers, cache=cache, backend=backend
+            program,
+            workers=args.workers,
+            cache=cache,
+            backend=backend,
+            timeout_ms=args.timeout_ms,
         )
     stack.flush_lemmas()
     return _render_check(payload, path, out)
@@ -135,6 +152,10 @@ def _render_synth(payload: dict, path: str, quiet: bool, out: TextIO) -> int:
             )
         if not item["verified"]:
             print(f"  {item['name']}: synthesized program failed re-checking", file=out)
+    if payload.get("timeout"):
+        timeouts = sum(1 for item in payload["items"] if item.get("timeout"))
+        print(f"{path}: budget exhausted — {timeouts} goal(s) timed out", file=out)
+        return EXIT_TIMEOUT
     return EXIT_FAILURE if payload["failures"] else EXIT_OK
 
 
@@ -152,6 +173,7 @@ def _run_synth(program: Program, path: str, args, out: TextIO) -> int:
                 backend=backend,
                 recheck=args.recheck,
                 workers=args.workers,
+                timeout_ms=args.timeout_ms,
             )
     except api.UnknownGoal:
         raise _CliError(f"{path}: no signature for goal `{args.only}`") from None
@@ -172,6 +194,8 @@ def _run_batch(args, out: TextIO) -> int:
         depth=args.depth,
         max_conditionals=args.max_conditionals,
         max_matches=args.max_matches,
+        file_timeout_ms=args.file_timeout_ms,
+        retries=args.retries,
     )
     render_report(report, out)
     return EXIT_FAILURE if report["failures"] else EXIT_OK
@@ -193,6 +217,20 @@ def _add_cache_flags(command, default_dir: bool) -> None:
     )
     command.add_argument(
         "--no-cache", action="store_true", help="never read or write the result cache"
+    )
+
+
+def _add_timeout_flag(command) -> None:
+    command.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "wall-clock budget for the whole query; on exhaustion a "
+            "structured unknown/timeout report is printed and the exit "
+            "code is 2 (no answer)"
+        ),
     )
 
 
@@ -234,6 +272,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for the candidate-set Horn portfolio (default 1 = serial)",
     )
+    _add_timeout_flag(check)
     _add_cache_flags(check, default_dir=False)
     synth = commands.add_parser("synth", help="synthesize every `name = ??` goal in a .sq file")
     synth.add_argument("file", help="the .sq source file")
@@ -257,6 +296,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-verify cached programs through a fresh checker before trusting them",
     )
+    _add_timeout_flag(synth)
     _add_cache_flags(synth, default_dir=False)
     batch = commands.add_parser(
         "batch", help="screen every .sq file under a directory through the result cache"
@@ -270,6 +310,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker threads, each with its own warm solver stack (default 1)",
     )
     _add_synth_limits(batch)
+    batch.add_argument(
+        "--file-timeout-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "wall-clock budget per file; a file that exhausts it is "
+            "recorded as a timeout and the sweep continues"
+        ),
+    )
+    batch.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "how many times to retry a file whose worker died a "
+            "transient death (default 1; backoff doubles per retry)"
+        ),
+    )
     _add_cache_flags(batch, default_dir=True)
     serve_cmd = commands.add_parser(
         "serve", help="run the long-running HTTP/JSON synthesis service"
@@ -280,6 +340,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve_cmd.add_argument(
         "--verbose", action="store_true", help="log one line per request to stderr"
+    )
+    serve_cmd.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "wall-clock budget per POST request in milliseconds; an "
+            "exhausted request is answered 503 with partial results "
+            "(a body `timeout_ms` can only tighten it)"
+        ),
     )
     _add_cache_flags(serve_cmd, default_dir=True)
     return parser
@@ -310,6 +381,7 @@ def main(argv: Optional[List[str]] = None, out: TextIO = sys.stdout) -> int:
                 no_cache=args.no_cache,
                 verbose=args.verbose,
                 out=out,
+                request_timeout_ms=args.request_timeout,
             )
         program = _load_program(args.file)
         if args.command == "check":

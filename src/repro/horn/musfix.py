@@ -40,6 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
+from .. import limits
 from ..logic.formulas import Formula
 from ..smt.interface import SolverBackend
 from ..smt.sat import SatSolver
@@ -218,6 +219,10 @@ class MusFixSolver:
         """Theory-check a subset against the asserted hard premises."""
         state.budget_left -= 1
         self.statistics.theory_checks += 1
+        # The per-pool ``mus_budget`` bounds each enumerator's *total*
+        # work; this checkpoint is the global budget's view of the same
+        # quantum, so one deadline governs MUS enumeration too.
+        limits.checkpoint("mus_theory_checks")
         return self._backend.check_assuming(state.pool[i - 1] for i in indices)
 
     def _record_mus(

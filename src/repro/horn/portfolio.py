@@ -32,14 +32,22 @@ fan-out:
 If the executor cannot be created or a worker dies (restricted
 environments, pickling regressions), the affected groups transparently
 fall back to the in-process path — the portfolio degrades to serial
-search rather than failing.
+search rather than failing.  A dead worker (``BrokenProcessPool``) is
+counted in ``HornStatistics.worker_deaths`` and its branch group is
+re-searched inline under whatever remains of the caller's deadline: the
+coordinator ships its active :class:`repro.limits.Budget` to every
+worker and keeps the same scope installed for the inline reruns, so
+serial and degraded-parallel runs obey one clock.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import limits
 from ..smt.interface import SolverBackend, new_backend
+from ..testing import faults
 from .constraints import HornConstraint
 from .musfix import MusLemma
 from .solver import (
@@ -67,18 +75,26 @@ def _search_branch(
     roots: Tuple[Assignment, ...],
     lemmas: Tuple[MusLemma, ...],
     backend_factory: BackendFactory,
+    group_index: int = 0,
+    budget: Optional[limits.Budget] = None,
 ) -> BranchOutcome:
     """Search one branch group to exhaustion (runs inside a worker).
 
     Module-level so the executor can pickle it by reference; everything it
     receives is plain data (constraints, spaces, options, seeds, lemmas)
     plus the backend factory, and everything it returns is plain data too.
+    ``budget`` is the coordinator's active budget, re-installed here so a
+    deadline governs worker processes exactly as it governs the
+    coordinator (the monotonic deadline is system-wide).
     """
-    solver = HornSolver(backend_factory())
-    result = solver.search_candidates(
-        constraints, spaces, options, roots=list(roots), lemmas=lemmas
-    )
-    return result, solver.statistics
+    if faults.maybe_fire(f"portfolio.worker-death.{group_index}"):
+        os._exit(13)  # chaos: the worker dies mid-solve, abruptly
+    with limits.budget_scope(budget):
+        solver = HornSolver(backend_factory())
+        result = solver.search_candidates(
+            constraints, spaces, options, roots=list(roots), lemmas=lemmas
+        )
+        return result, solver.statistics
 
 
 def solve_portfolio(
@@ -129,20 +145,43 @@ def solve_portfolio(
 
     if workers > 1 and len(groups) > 1:
         shared = tuple(lemma_pool)
+        budget = limits.active_budget()
         try:
             import concurrent.futures
+            from concurrent.futures.process import BrokenProcessPool
 
+            if faults.maybe_fire("portfolio.executor-down"):
+                raise OSError("injected: process pool unavailable")
             with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
                     pool.submit(
-                        _search_branch, *payload, tuple(group), shared, backend_factory
+                        _search_branch,
+                        *payload,
+                        tuple(group),
+                        shared,
+                        backend_factory,
+                        index,
+                        budget,
                     )
-                    for group in groups
+                    for index, group in enumerate(groups)
                 ]
                 still_pending = []
                 for group, future in zip(groups, futures):
                     try:
                         outcomes.append(future.result())
+                    except limits.BudgetExhausted:
+                        # The shared deadline tripped inside a worker; it
+                        # governs the whole solve, so stop dispatching and
+                        # let the coordinator's owner handle it.
+                        raise
+                    except BrokenProcessPool:
+                        # A dead worker (SIGKILL, OOM, os._exit) breaks the
+                        # pool: every unfinished future raises this.  The
+                        # group is re-searched inline below, under whatever
+                        # remains of the same deadline (the active scope is
+                        # still installed on this thread).
+                        coordinator.statistics.worker_deaths += 1
+                        still_pending.append(group)
                     except Exception:
                         still_pending.append(group)  # worker died: redo inline
                 pending = still_pending

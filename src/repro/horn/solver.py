@@ -53,6 +53,7 @@ from collections import deque
 from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from .. import limits
 from ..logic import ops
 from ..logic.formulas import Formula, Unknown
 from ..logic.substitution import apply_assignment, substitute
@@ -107,6 +108,9 @@ class HornStatistics:
     muses_enumerated: int = 0
     #: MUS lemmas adopted from other portfolio branches.
     lemmas_shared: int = 0
+    #: Portfolio worker processes that died mid-branch; their groups were
+    #: re-searched inline (visible degradation, never a lost result).
+    worker_deaths: int = 0
 
     def merge(self, other: "HornStatistics") -> None:
         """Fold another solver's counters into this one (portfolio)."""
@@ -119,6 +123,7 @@ class HornStatistics:
         self.candidates_pruned += other.candidates_pruned
         self.muses_enumerated += other.muses_enumerated
         self.lemmas_shared += other.lemmas_shared
+        self.worker_deaths += other.worker_deaths
 
 
 @dataclass
@@ -495,6 +500,10 @@ class HornSolver:
                 break
             explored += 1
             self.statistics.candidates_explored += 1
+            # One cancellation point per candidate valuation: each costs at
+            # least one grounded fixpoint, so this is the search's natural
+            # quantum.
+            limits.checkpoint("horn_candidates")
             if musfix.dooms_everywhere(candidate, mentioning):
                 self.statistics.candidates_pruned += 1
                 continue
@@ -691,6 +700,7 @@ class HornSolver:
         while changed:
             changed = False
             self.statistics.fixpoint_rounds += 1
+            limits.checkpoint()  # wall-clock cancellation per weakening round
             for constr in weakening:
                 if self._weaken(constr, assignment):
                     changed = True

@@ -11,12 +11,24 @@ change *when* a payload was computed, never what it contains.
 
 Payload shapes::
 
-    check: {"items": [{"name", "status": "ok"|"rejected"|"goal",
-                       "message"?, "valuations"?}, ...],
-            "failures": int, "note": "no-definitions"?}
+    check: {"items": [{"name", "status": "ok"|"rejected"|"goal"|"unknown",
+                       "message"?, "valuations"?, "limit"?, "progress"?},
+                      ...],
+            "failures": int, "unknowns"?: int, "timeout"?: true,
+            "note": "no-definitions"?}
     synth: {"items": [{"name", "goal", "solved", "program", "verified",
-                       "statistics", "reason"}, ...],
-            "failures": int, "note": "no-goals"?}
+                       "statistics", "reason", "timeout"?, "limit"?}, ...],
+            "failures": int, "timeout"?: true, "note": "no-goals"?}
+
+Both verbs accept ``timeout_ms``: a wall-clock budget installed around
+the whole query (see :mod:`repro.limits`).  Exhaustion degrades, it does
+not fail: the item the budget tripped in reports ``unknown`` (check) or
+``timeout`` (synth) with the limit that fired and the progress counters
+at that point, remaining items trip instantly at their first checkpoint,
+and the payload carries a top-level ``timeout`` flag.  Timeout payloads
+are **never cached** — they record how far *this* machine got under
+*this* load, not an answer — so the cache continues to hold only
+complete results and the digest is independent of the budget.
 
 Caching is content-addressed (:func:`repro.service.cache.query_digest`);
 pass ``cache=None`` (the ``--no-cache`` path) to always compute.  A
@@ -31,6 +43,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from .. import limits
 from ..horn.solver import SolveOptions
 from ..syntax.parser import ParseError, Program, parse_term
 from ..syntax.types import generalize
@@ -66,42 +79,78 @@ def _component_environment(program: Program, upto: str, backend=None):
 # -- check -------------------------------------------------------------------
 
 
-def compute_check(program: Program, workers: int = 1, backend=None) -> dict:
-    """Type-check every definition; the payload the ``check`` verb renders."""
+def compute_check(
+    program: Program,
+    workers: int = 1,
+    backend=None,
+    timeout_ms: Optional[float] = None,
+) -> dict:
+    """Type-check every definition; the payload the ``check`` verb renders.
+
+    With a ``timeout_ms`` budget (or inside an enclosing budget scope —
+    the server installs one per request), exhaustion turns the current
+    and all remaining definitions into structured ``unknown`` items
+    instead of aborting the query: each records which limit tripped and
+    the progress counters at that point.  Unknowns are counted apart
+    from ``failures`` — an unanswered query is not a refuted one.
+    """
     options = SolveOptions(max_workers=workers)
+    budget = limits.Budget.from_timeout_ms(timeout_ms) if timeout_ms else None
     items = []
     failures = 0
-    for name, term in program.definitions.items():
-        session, env = _component_environment(program, name, backend)
-        goal = program.signatures[name]
-        try:
-            session.check_program(term, goal, env, where=name)
-            outcome = session.solve(options)
-        except TypecheckError as error:
-            items.append({"name": name, "status": "rejected", "message": str(error)})
-            failures += 1
-            continue
-        if outcome.solved:
-            item = {"name": name, "status": "ok"}
-            valuations = {
-                unknown: [repr(q) for q in quals]
-                for unknown, quals in sorted(outcome.assignment.items())
-                if quals
-            }
-            if valuations:
-                item["valuations"] = valuations
-            items.append(item)
-        else:
-            items.append(
-                {"name": name, "status": "rejected", "message": outcome.error_message}
-            )
-            failures += 1
+    unknowns = 0
+    with limits.budget_scope(budget):
+        for name, term in program.definitions.items():
+            try:
+                session, env = _component_environment(program, name, backend)
+                goal = program.signatures[name]
+                session.check_program(term, goal, env, where=name)
+                outcome = session.solve(options)
+            except TypecheckError as error:
+                items.append({"name": name, "status": "rejected", "message": str(error)})
+                failures += 1
+                continue
+            except limits.BudgetExhausted as exhausted:
+                # Degrade, don't die: this item (and, since the scope
+                # stays exhausted, each later one at its first
+                # checkpoint) reports a structured unknown.
+                items.append(_unknown_item(name, exhausted))
+                unknowns += 1
+                continue
+            if outcome.solved:
+                item = {"name": name, "status": "ok"}
+                valuations = {
+                    unknown: [repr(q) for q in quals]
+                    for unknown, quals in sorted(outcome.assignment.items())
+                    if quals
+                }
+                if valuations:
+                    item["valuations"] = valuations
+                items.append(item)
+            else:
+                items.append(
+                    {"name": name, "status": "rejected", "message": outcome.error_message}
+                )
+                failures += 1
     for name in program.goals:
         items.append({"name": name, "status": "goal"})
     payload = {"items": items, "failures": failures}
+    if unknowns:
+        payload["unknowns"] = unknowns
+        payload["timeout"] = True
     if not program.definitions:
         payload["note"] = "no-definitions"
     return payload
+
+
+def _unknown_item(name: str, exhausted: limits.BudgetExhausted) -> dict:
+    return {
+        "name": name,
+        "status": "unknown",
+        "message": str(exhausted),
+        "limit": exhausted.limit,
+        "progress": dict(exhausted.progress),
+    }
 
 
 def check_query(
@@ -109,15 +158,21 @@ def check_query(
     workers: int = 1,
     cache: Optional[ResultCache] = None,
     backend=None,
+    timeout_ms: Optional[float] = None,
 ) -> Tuple[dict, bool, str]:
-    """``check`` through the cache: ``(payload, was_cached, digest)``."""
+    """``check`` through the cache: ``(payload, was_cached, digest)``.
+
+    The digest does not include ``timeout_ms`` — a cached (complete)
+    answer is valid for any budget — and a payload flagged ``timeout``
+    is never stored: partial progress is machine- and load-dependent.
+    """
     digest = query_digest("check", program, {"workers": workers})
     if cache is not None:
         payload = cache.get(digest)
         if payload is not None:
             return payload, True, digest
-    payload = compute_check(program, workers, backend)
-    if cache is not None:
+    payload = compute_check(program, workers, backend, timeout_ms)
+    if cache is not None and not payload.get("timeout"):
         cache.put(digest, payload)
     return payload, False, digest
 
@@ -133,39 +188,76 @@ def compute_synth(
     max_matches: int = 1,
     backend=None,
     workers: int = 1,
+    timeout_ms: Optional[float] = None,
 ) -> dict:
-    """Synthesize every goal (or just ``only``); the ``synth`` payload."""
+    """Synthesize every goal (or just ``only``); the ``synth`` payload.
+
+    Under a ``timeout_ms`` budget each goal that runs out reports a
+    ``timeout`` item: unsolved, with the tripped limit and the partial
+    statistics (including ``depth_reached``) the synthesizer gathered
+    before the budget fired.
+    """
     goals = list(program.goals)
     if only is not None:
         goals = [only]
     if not goals:
         return {"items": [], "failures": 1, "note": "no-goals"}
+    budget = limits.Budget.from_timeout_ms(timeout_ms) if timeout_ms else None
     items = []
     failures = 0
-    for name in goals:
-        goal = SynthesisGoal.from_program(program, name)
-        synthesizer = Synthesizer(
-            goal,
-            max_depth=depth,
-            max_conditionals=max_conditionals,
-            max_matches=max_matches,
-            backend=backend,
-            workers=workers,
-        )
-        result = synthesizer.synthesize()
-        item = {
-            "name": name,
-            "goal": describe_goal(goal),
-            "solved": result.solved,
-            "program": result.pretty() if result.solved else None,
-            "verified": result.verified,
-            "statistics": result.statistics.as_dict(),
-            "reason": result.reason,
-        }
-        items.append(item)
-        if not result.solved or not result.verified:
-            failures += 1
-    return {"items": items, "failures": failures}
+    timed_out = False
+    with limits.budget_scope(budget):
+        for name in goals:
+            try:
+                goal = SynthesisGoal.from_program(program, name)
+                synthesizer = Synthesizer(
+                    goal,
+                    max_depth=depth,
+                    max_conditionals=max_conditionals,
+                    max_matches=max_matches,
+                    backend=backend,
+                    workers=workers,
+                )
+                result = synthesizer.synthesize()
+            except limits.BudgetExhausted as exhausted:
+                # Exhaustion outside the synthesizer's own loop (goal
+                # setup, or a later goal after the budget tripped).
+                items.append(
+                    {
+                        "name": name,
+                        "goal": name,
+                        "solved": False,
+                        "program": None,
+                        "verified": False,
+                        "statistics": {},
+                        "reason": str(exhausted),
+                        "timeout": True,
+                        "limit": exhausted.limit,
+                    }
+                )
+                failures += 1
+                timed_out = True
+                continue
+            item = {
+                "name": name,
+                "goal": describe_goal(goal),
+                "solved": result.solved,
+                "program": result.pretty() if result.solved else None,
+                "verified": result.verified,
+                "statistics": result.statistics.as_dict(),
+                "reason": result.reason,
+            }
+            if result.timeout:
+                item["timeout"] = True
+                item["limit"] = result.limit
+                timed_out = True
+            items.append(item)
+            if not result.solved or not result.verified:
+                failures += 1
+    payload = {"items": items, "failures": failures}
+    if timed_out:
+        payload["timeout"] = True
+    return payload
 
 
 def synth_query(
@@ -178,8 +270,13 @@ def synth_query(
     backend=None,
     recheck: bool = False,
     workers: int = 1,
+    timeout_ms: Optional[float] = None,
 ) -> Tuple[dict, bool, str]:
-    """``synth`` through the cache: ``(payload, was_cached, digest)``."""
+    """``synth`` through the cache: ``(payload, was_cached, digest)``.
+
+    As with :func:`check_query`, ``timeout_ms`` is not part of the
+    digest and timed-out payloads are never persisted.
+    """
     if only is not None and only not in program.signatures:
         raise UnknownGoal(only)
     options: Dict[str, object] = {
@@ -196,9 +293,9 @@ def synth_query(
             if not recheck or recheck_synth_payload(program, payload):
                 return payload, True, digest
     payload = compute_synth(
-        program, only, depth, max_conditionals, max_matches, backend, workers
+        program, only, depth, max_conditionals, max_matches, backend, workers, timeout_ms
     )
-    if cache is not None:
+    if cache is not None and not payload.get("timeout"):
         cache.put(digest, payload)
     return payload, False, digest
 

@@ -18,6 +18,15 @@ store at the end of the sweep.
 Because it reports wall-clock time and cache counters, the sweep doubles
 as the service throughput benchmark (``scripts/bench_service.py`` runs
 it cold and warm and asserts the ratio).
+
+**Robustness.** A sweep is only useful if one bad file cannot sink it:
+any per-file exception is recorded on that file's line and the sweep
+continues.  Three failure classes are distinguished — a *timeout*
+(``--file-timeout-ms`` budget exhausted; the file reports partial
+progress), a *transient worker death* (:class:`BrokenProcessPool` and
+friends, retried with exponential backoff up to ``retries`` times before
+being recorded), and everything else (recorded once, no retry).  Warm
+stacks that had to be reset mid-sweep surface in the summary.
 """
 
 from __future__ import annotations
@@ -25,13 +34,21 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import List, Optional
 
+from .. import limits
 from ..syntax.parser import ParseError, parse_program
+from ..testing import faults
 from . import api
 from .cache import LemmaStore, ResultCache
 from .worker import WarmStack
+
+#: Worker-death shapes worth one more try: the pool process vanished or
+#: its pipe closed mid-answer — load-dependent, not a property of the
+#: file being screened.
+TRANSIENT_ERRORS = (BrokenProcessPool, EOFError, BrokenPipeError)
 
 
 def discover_files(root: str) -> List[Path]:
@@ -55,9 +72,11 @@ def screen_file(
     """One file through the query layer; the per-file batch record.
 
     ``{"file", "failures", "cached", "fresh", "check"?, "synth"?,
-    "error"?}`` — ``check``/``synth`` hold the ordinary query payloads,
-    ``error`` a parse failure (which counts as one failure but does not
-    abort the sweep).
+    "error"?, "timeout"?}`` — ``check``/``synth`` hold the ordinary
+    query payloads, ``error`` a parse failure (one failure, sweep goes
+    on).  Solver exceptions deliberately propagate: :func:`run_batch`
+    catches them *outside* the warm stack's query guard, so a crashed
+    query resets the stack before the failure is recorded.
     """
     record: dict = {"file": str(path), "failures": 0, "cached": 0, "fresh": 0}
     try:
@@ -66,11 +85,15 @@ def screen_file(
         record["error"] = str(error)
         record["failures"] = 1
         return record
+    if faults.maybe_fire("batch.worker-death"):
+        raise BrokenProcessPool("injected: batch worker process died")
     if program.definitions:
         payload, was_cached, _ = api.check_query(program, cache=cache, backend=backend)
         record["check"] = payload
         record["failures"] += payload["failures"]
         record["cached" if was_cached else "fresh"] += 1
+        if payload.get("timeout"):
+            record["timeout"] = True
     if program.goals:
         payload, was_cached, _ = api.synth_query(
             program,
@@ -83,6 +106,8 @@ def screen_file(
         record["synth"] = payload
         record["failures"] += payload["failures"]
         record["cached" if was_cached else "fresh"] += 1
+        if payload.get("timeout"):
+            record["timeout"] = True
     return record
 
 
@@ -94,18 +119,28 @@ def run_batch(
     depth: int = 4,
     max_conditionals: int = 2,
     max_matches: int = 1,
+    file_timeout_ms: Optional[float] = None,
+    retries: int = 1,
+    backoff_s: float = 0.05,
 ) -> dict:
     """Sweep ``root`` and return the batch report.
 
     ``{"files": [record, ...], "failures", "queries", "cached",
-    "elapsed", "cache": counters-or-None}`` — everything except
-    ``elapsed`` (and the counters) is deterministic, which is what the
-    cold-vs-warm determinism test pins down.
+    "timeouts", "retries", "resets", "timeout_resets", "elapsed",
+    "cache": counters-or-None}`` — everything except ``elapsed`` (and
+    the counters) is deterministic, which is what the cold-vs-warm
+    determinism test pins down.
+
+    ``file_timeout_ms`` installs a fresh :class:`~repro.limits.Budget`
+    per file (nested inside any enclosing scope, e.g. a server
+    request's); transient worker deaths are retried up to ``retries``
+    times with exponential backoff before the file is marked failed.
     """
     paths = discover_files(root)
     local = threading.local()
     stacks: List[WarmStack] = []
     stacks_lock = threading.Lock()
+    retry_count = [0]
 
     def stack() -> WarmStack:
         if getattr(local, "stack", None) is None:
@@ -114,17 +149,48 @@ def run_batch(
                 stacks.append(local.stack)
         return local.stack
 
-    def job(path: Path) -> dict:
+    def attempt(path: Path) -> dict:
+        # Exceptions are caught *outside* the stack's query guard, so a
+        # crashed or cancelled query resets the warm stack (and is
+        # counted) before the per-file record is written.
         worker = stack()
-        with worker.query() as backend:
-            return screen_file(
-                path,
-                cache=cache,
-                backend=backend,
-                depth=depth,
-                max_conditionals=max_conditionals,
-                max_matches=max_matches,
-            )
+        budget = (
+            limits.Budget.from_timeout_ms(file_timeout_ms) if file_timeout_ms else None
+        )
+        with limits.budget_scope(budget):
+            with worker.query() as backend:
+                return screen_file(
+                    path,
+                    cache=cache,
+                    backend=backend,
+                    depth=depth,
+                    max_conditionals=max_conditionals,
+                    max_matches=max_matches,
+                )
+
+    def failed(path: Path, **extra) -> dict:
+        return {"file": str(path), "failures": 1, "cached": 0, "fresh": 0, **extra}
+
+    def job(path: Path) -> dict:
+        for tries in range(max(0, retries) + 1):
+            try:
+                return attempt(path)
+            except limits.BudgetExhausted as exhausted:
+                # Tripped outside the query layer's own degradation (the
+                # warm stack has already been timeout-reset).
+                return failed(
+                    path, error=str(exhausted), timeout=True, limit=exhausted.limit
+                )
+            except TRANSIENT_ERRORS as error:
+                if tries < max(0, retries):
+                    with stacks_lock:
+                        retry_count[0] += 1
+                    time.sleep(backoff_s * (2**tries))
+                    continue
+                return failed(path, error=f"worker died ({type(error).__name__}: {error})")
+            except Exception as error:  # noqa: BLE001 - one bad file, one bad line
+                return failed(path, error=f"{type(error).__name__}: {error}")
+        raise AssertionError("unreachable: the retry loop always returns")
 
     started = time.monotonic()
     if jobs <= 1:
@@ -139,6 +205,10 @@ def run_batch(
         "failures": sum(record["failures"] for record in records),
         "queries": sum(record["cached"] + record["fresh"] for record in records),
         "cached": sum(record["cached"] for record in records),
+        "timeouts": sum(1 for record in records if record.get("timeout")),
+        "retries": retry_count[0],
+        "resets": sum(worker.resets for worker in stacks),
+        "timeout_resets": sum(worker.timeout_resets for worker in stacks),
         "elapsed": time.monotonic() - started,
         "cache": cache.stats() if cache is not None else None,
     }
@@ -150,13 +220,17 @@ def render_report(report: dict, out) -> None:
     eyeballed without ``/stats``)."""
     for record in report["files"]:
         if "error" in record:
-            print(f"{record['file']}: ERROR — {record['error']}", file=out)
+            label = "TIMEOUT" if record.get("timeout") else "ERROR"
+            print(f"{record['file']}: {label} — {record['error']}", file=out)
             continue
         verbs = []
         for verb in ("check", "synth"):
             if verb in record:
-                ok = record[verb]["failures"] == 0
-                verbs.append(f"{verb} {'ok' if ok else 'FAILED'}")
+                if record[verb].get("timeout"):
+                    verbs.append(f"{verb} TIMEOUT")
+                else:
+                    ok = record[verb]["failures"] == 0
+                    verbs.append(f"{verb} {'ok' if ok else 'FAILED'}")
         detail = ", ".join(verbs) if verbs else "nothing to do"
         source = "cache" if record["cached"] and not record["fresh"] else "solver"
         print(f"{record['file']}: {detail} [{source}]", file=out)
@@ -166,8 +240,15 @@ def render_report(report: dict, out) -> None:
         if counters is not None
         else "disabled"
     )
+    degraded = ""
+    if report.get("timeouts"):
+        degraded += f", {report['timeouts']} timeouts"
+    if report.get("retries"):
+        degraded += f", {report['retries']} retries"
+    if report.get("resets"):
+        degraded += f", {report['resets']} worker resets"
     print(
-        f"batch: {len(report['files'])} files, {report['failures']} failures, "
-        f"cache: {cache_note}, {report['elapsed']:.2f}s",
+        f"batch: {len(report['files'])} files, {report['failures']} failures"
+        f"{degraded}, cache: {cache_note}, {report['elapsed']:.2f}s",
         file=out,
     )

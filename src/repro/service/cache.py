@@ -46,10 +46,12 @@ from ..syntax.datatypes import pretty_datatype, pretty_measure
 from ..syntax.parser import Program
 from ..syntax.terms import pretty_term
 from ..syntax.types import pretty_type
+from ..testing import faults
 from ..version import package_version
 
 #: Bump to invalidate every persisted cache entry (schema salt).
-CACHE_SCHEMA_VERSION = 1
+#: v2: synth payload statistics gained ``depth_reached``.
+CACHE_SCHEMA_VERSION = 2
 
 #: Default location, overridable per invocation (``--cache-dir``) or via
 #: the ``REPRO_CACHE_DIR`` environment variable.
@@ -135,6 +137,8 @@ class ResultCache:
         path = self._path(digest)
         try:
             entry = json.loads(path.read_text())
+            if faults.maybe_fire("cache.corrupt-read"):
+                raise ValueError("injected: cache entry corrupted mid-read")
             payload = entry["payload"]
             ok = entry["schema"] == CACHE_SCHEMA_VERSION and entry["digest"] == digest
         except FileNotFoundError:

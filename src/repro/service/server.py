@@ -18,17 +18,34 @@ POST responses wrap the ordinary query payloads (see
 same structures the CLI renders, so a client can diff server answers
 against local runs byte for byte.  Errors are JSON too: ``400`` for a
 malformed body, a parse error, or an unknown goal; ``404`` for any other
-path.  Solver work is serialized through the stack's lock (the SAT core
-is single-threaded state); the threaded server still overlaps request
-I/O, and cached answers never touch the solver at all.
+path; ``500`` for an unexpected solver crash (the warm stack has already
+been reset by then).
+
+**Deadlines.** ``--request-timeout`` arms every POST with a wall-clock
+budget (a per-request ``"timeout_ms"`` body field tightens it further);
+the budget propagates through every solver layer via
+:mod:`repro.limits`.  A query that degrades into a partial payload
+(``result["timeout"]``) or trips outright is answered ``503`` with
+``{"error", "timeout": true, ...}`` plus whatever partial results and
+stats were gathered — the same degradation contract the CLI renders.
+On ``SIGTERM`` the server stops accepting connections, drains in-flight
+requests (bounded), flushes lemmas, and exits 0.
+
+Solver work is serialized through the stack's lock (the SAT core is
+single-threaded state); the threaded server still overlaps request I/O,
+and cached answers never touch the solver at all.
 """
 
 from __future__ import annotations
 
 import json
+import signal
+import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import Optional, Tuple
 
+from .. import limits
 from ..syntax.parser import ParseError, parse_program
 from ..version import package_version
 from . import api
@@ -92,6 +109,22 @@ class ServiceHandler(BaseHTTPRequestHandler):
             raise _BadRequest(f"`{key}` must be an integer")
         return value
 
+    def _timeout_ms(self, body: dict) -> Optional[float]:
+        """The request's wall-clock budget: the tighter of the server's
+        ``--request-timeout`` and the body's ``timeout_ms``, if any."""
+        value = body.get("timeout_ms")
+        if value is not None and (
+            isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0
+        ):
+            raise _BadRequest("`timeout_ms` must be a positive number")
+        server_default = getattr(self.server, "request_timeout_ms", None)
+        candidates = [t for t in (value, server_default) if t is not None]
+        return min(candidates) if candidates else None
+
+    def _budget(self, body: dict) -> Optional[limits.Budget]:
+        timeout_ms = self._timeout_ms(body)
+        return limits.Budget.from_timeout_ms(timeout_ms) if timeout_ms else None
+
     # -- routes --------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -103,49 +136,79 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._reply(404, {"error": f"no such route: {self.path}"})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        server: ReproServer = self.server
+        server.request_started()
         try:
             if self.path == "/check":
-                self._reply(200, self._handle_check(self._json_body()))
+                self._reply(*self._handle_check(self._json_body()))
             elif self.path == "/synth":
-                self._reply(200, self._handle_synth(self._json_body()))
+                self._reply(*self._handle_synth(self._json_body()))
             else:
                 self._reply(404, {"error": f"no such route: {self.path}"})
         except _BadRequest as error:
             self._reply(400, {"error": str(error)})
+        except limits.BudgetExhausted as exhausted:
+            # The budget tripped outside the degradation paths the query
+            # layer absorbs (e.g. mid-setup): still a structured answer.
+            self._reply(503, self._timeout_body(exhausted))
+        except Exception as error:  # noqa: BLE001 - the server must survive
+            self._reply(500, {"error": f"internal error: {error}"})
+        finally:
+            server.request_finished()
 
-    def _handle_check(self, body: dict) -> dict:
+    def _timeout_body(self, exhausted: limits.BudgetExhausted) -> dict:
+        return {
+            "error": str(exhausted),
+            "timeout": True,
+            "limit": exhausted.limit,
+            "progress": dict(exhausted.progress),
+            "stats": self.server.service_stats(),
+        }
+
+    def _finish(self, payload: dict, cached: bool, digest: str) -> Tuple[int, dict]:
+        """Wrap a query payload; a degraded (timed-out) one answers 503."""
+        body = {"digest": digest, "cached": cached, "result": payload}
+        if payload.get("timeout"):
+            body["timeout"] = True
+            body["stats"] = self.server.service_stats()
+            return 503, body
+        return 200, body
+
+    def _handle_check(self, body: dict) -> Tuple[int, dict]:
         program = self._program(body)
         workers = self._int(body, "workers", 1)
         server: ReproServer = self.server
-        with server.stack.query() as backend:
-            payload, cached, digest = api.check_query(
-                program, workers=workers, cache=server.cache, backend=backend
-            )
+        with limits.budget_scope(self._budget(body)):
+            with server.stack.query() as backend:
+                payload, cached, digest = api.check_query(
+                    program, workers=workers, cache=server.cache, backend=backend
+                )
         server.stack.flush_lemmas()
-        return {"digest": digest, "cached": cached, "result": payload}
+        return self._finish(payload, cached, digest)
 
-    def _handle_synth(self, body: dict) -> dict:
+    def _handle_synth(self, body: dict) -> Tuple[int, dict]:
         program = self._program(body)
         only = body.get("only")
         if only is not None and not isinstance(only, str):
             raise _BadRequest("`only` must be a goal name")
         server: ReproServer = self.server
         try:
-            with server.stack.query() as backend:
-                payload, cached, digest = api.synth_query(
-                    program,
-                    only=only,
-                    depth=self._int(body, "depth", 4),
-                    max_conditionals=self._int(body, "max_conditionals", 2),
-                    max_matches=self._int(body, "max_matches", 1),
-                    cache=server.cache,
-                    backend=backend,
-                    recheck=bool(body.get("recheck", False)),
-                )
+            with limits.budget_scope(self._budget(body)):
+                with server.stack.query() as backend:
+                    payload, cached, digest = api.synth_query(
+                        program,
+                        only=only,
+                        depth=self._int(body, "depth", 4),
+                        max_conditionals=self._int(body, "max_conditionals", 2),
+                        max_matches=self._int(body, "max_matches", 1),
+                        cache=server.cache,
+                        backend=backend,
+                        recheck=bool(body.get("recheck", False)),
+                    )
         except api.UnknownGoal as error:
             raise _BadRequest(f"no signature for goal `{error}`") from error
         server.stack.flush_lemmas()
-        return {"digest": digest, "cached": cached, "result": payload}
+        return self._finish(payload, cached, digest)
 
 
 class ReproServer(ThreadingHTTPServer):
@@ -160,17 +223,44 @@ class ReproServer(ThreadingHTTPServer):
         cache: Optional[ResultCache] = None,
         lemma_store: Optional[LemmaStore] = None,
         verbose: bool = False,
+        request_timeout_ms: Optional[float] = None,
     ) -> None:
         super().__init__((host, port), ServiceHandler)
         self.cache = cache
         self.verbose = verbose
+        self.request_timeout_ms = request_timeout_ms
         self.stack = WarmStack(lemma_store)
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+
+    # Handler threads are daemons (a wedged request must not block
+    # shutdown), so graceful drain is tracked by hand:
+
+    def request_started(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+
+    def request_finished(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    def drain(self, grace_s: float = 5.0) -> bool:
+        """Wait (bounded) for in-flight requests; True if all finished."""
+        deadline = time.monotonic() + grace_s
+        while self.inflight() > 0 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        return self.inflight() == 0
 
     def service_stats(self) -> dict:
         return {
             "version": package_version(),
             "cache": self.cache.stats() if self.cache is not None else None,
             "worker": self.stack.stats(),
+            "inflight": self.inflight(),
         }
 
 
@@ -181,19 +271,41 @@ def serve(
     no_cache: bool = False,
     verbose: bool = False,
     out=None,
+    request_timeout_ms: Optional[float] = None,
 ) -> int:
-    """Run the service until interrupted (the ``serve`` verb's body)."""
+    """Run the service until interrupted (the ``serve`` verb's body).
+
+    ``SIGTERM`` (when running on the main thread — tests boot the server
+    from a worker thread, where installing handlers is illegal) triggers
+    a graceful stop: no new connections, a bounded drain of in-flight
+    requests, one final lemma flush.
+    """
     cache, lemma_store = open_cache(cache_dir, enabled=not no_cache)
-    server = ReproServer(host, port, cache, lemma_store, verbose)
+    server = ReproServer(
+        host, port, cache, lemma_store, verbose, request_timeout_ms=request_timeout_ms
+    )
     if out is not None:
         where = cache.root if cache is not None else "disabled"
         print(f"repro service on http://{host}:{server.server_port} (cache: {where})", file=out)
         out.flush()
+
+    previous_handler = None
+    if threading.current_thread() is threading.main_thread():
+
+        def _terminate(signum, frame):
+            # shutdown() blocks until serve_forever() exits, so it must
+            # run off the serving thread.
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+        previous_handler = signal.signal(signal.SIGTERM, _terminate)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGTERM, previous_handler)
+        server.drain()
         server.stack.flush_lemmas()
         server.server_close()
     return 0

@@ -22,10 +22,13 @@ every fresh backend and merges newly learned lemmas back on
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+from .. import limits
 from ..smt.solver import IncrementalSolver
+from ..testing import faults
 from .cache import LemmaStore
 
 
@@ -36,6 +39,7 @@ class WarmStack:
         self.lemma_store = lemma_store
         self.queries = 0
         self.resets = 0
+        self.timeout_resets = 0
         self.lemmas_imported = 0
         self.lemmas_flushed = 0
         self._lock = threading.Lock()
@@ -47,9 +51,16 @@ class WarmStack:
             self.lemmas_imported += backend.import_theory_lemmas(self.lemma_store.load())
         return backend
 
-    def reset(self) -> None:
-        """Replace the backend (after a failed query left it suspect)."""
+    def reset(self, timeout: bool = False) -> None:
+        """Replace the backend (after a failed query left it suspect).
+
+        ``timeout=True`` marks a budget-triggered reset — counted
+        separately so ``/stats`` and the batch summary can distinguish a
+        query that *died* from one that was *cancelled*.
+        """
         self.resets += 1
+        if timeout:
+            self.timeout_resets += 1
         self.backend = self._fresh_backend()
 
     @contextmanager
@@ -58,14 +69,21 @@ class WarmStack:
 
         Serializes queries (the SAT core is single-threaded state), opens
         a guard scope so any assertion the query leaks is popped, and
-        resets the backend if the query raises.
+        resets the backend if the query raises — a budget exhaustion
+        (:class:`~repro.limits.BudgetExhausted`) counts as a *timeout*
+        reset, any other exception as a plain one.
         """
         with self._lock:
             self.queries += 1
             backend = self.backend
             backend.push()
             try:
+                if faults.maybe_fire("stack.stall"):
+                    _stall_past_deadline()
                 yield backend
+            except limits.BudgetExhausted:
+                self.reset(timeout=True)
+                raise
             except Exception:
                 self.reset()
                 raise
@@ -85,6 +103,16 @@ class WarmStack:
         return {
             "queries": self.queries,
             "resets": self.resets,
+            "timeout_resets": self.timeout_resets,
             "lemmas_imported": self.lemmas_imported,
             "lemmas_flushed": self.lemmas_flushed,
         }
+
+
+def _stall_past_deadline() -> None:
+    """Chaos effect: sleep until the active deadline has passed (bounded
+    at two seconds for scopes without one), then hit a checkpoint — the
+    injected form of a query that outlives its budget."""
+    left = limits.remaining_ms()
+    time.sleep(min((left or 2000.0) / 1000.0 + 0.01, 2.0))
+    limits.checkpoint()

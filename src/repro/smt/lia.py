@@ -24,6 +24,8 @@ from fractions import Fraction
 from math import gcd
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from .. import limits
+
 
 class Relation(enum.Enum):
     """Relation of a linear constraint ``expr REL 0``."""
@@ -664,6 +666,10 @@ class Simplex:
                         )
                 return conflict
             target = lower[broken][0] if below else upper[broken][0]
+            # Cancellation point per repair pivot; aborting here leaves the
+            # tableau structurally sound and still dirty, so the next check
+            # resumes the repair.
+            limits.checkpoint("tableau_pivots")
             self._pivot_and_update(broken, pivot_col, target)
 
     def _pivot_and_update(self, leaving: int, entering: int, target: Fraction) -> None:

@@ -44,6 +44,8 @@ from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .. import limits
+
 #: Variable activities are rescaled past this magnitude (VSIDS).
 _VAR_RESCALE = 1e100
 #: Clause activities are rescaled past this magnitude.
@@ -306,19 +308,26 @@ class SatSolver:
             return SatResult(False)
         answer: Optional[bool] = None
         restarts = 0
-        while answer is None:
-            # (Re-)establish assumptions as the bottommost decisions —
-            # idempotent, so it is re-run after a learned level-0 fact
-            # forced a full backtrack.
-            if not self._assume_all(assumptions):
-                self._cancel_until(0)
-                return SatResult(False)
-            root = len(self._trail_lim)
-            budget = _RESTART_BASE * _luby(restarts)
-            answer = self._search(budget, root)
-            if answer is None:
-                restarts += 1
-                self.statistics.restarts += 1
+        try:
+            while answer is None:
+                # (Re-)establish assumptions as the bottommost decisions —
+                # idempotent, so it is re-run after a learned level-0 fact
+                # forced a full backtrack.
+                if not self._assume_all(assumptions):
+                    self._cancel_until(0)
+                    return SatResult(False)
+                root = len(self._trail_lim)
+                budget = _RESTART_BASE * _luby(restarts)
+                answer = self._search(budget, root)
+                if answer is None:
+                    restarts += 1
+                    self.statistics.restarts += 1
+        except limits.BudgetExhausted:
+            # Cooperative cancellation mid-search: unwind the trail (which
+            # also re-syncs the theory listener) so the solver is reusable,
+            # then let the budget's owner handle the exhaustion.
+            self._cancel_until(0)
+            raise
         if not answer:
             self._cancel_until(0)
             return SatResult(False)
@@ -361,6 +370,9 @@ class SatSolver:
             if confl is not None:
                 conflicts += 1
                 self.statistics.conflicts += 1
+                # One cancellation point per conflict: free with no active
+                # budget, and conflict analysis dwarfs the check otherwise.
+                limits.checkpoint("sat_conflicts")
                 if len(self._trail_lim) <= root:
                     # Conflict forced by assumptions (or facts) alone.
                     if root == 0:

@@ -38,6 +38,9 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .. import limits
+from ..testing import faults
+
 from ..logic.formulas import (
     COMPARISON_OPS,
     App,
@@ -624,6 +627,12 @@ class IncrementalTheory:
         skips repair when no bound changed (its own dirty flag).
         """
         self.checks += 1
+        if faults.maybe_fire("theory.raise"):
+            raise faults.FaultInjected("theory.raise: injected theory-check failure")
+        # Wall-clock cancellation point before the (change-driven, but
+        # potentially large) congruence rebuild; the simplex repair has its
+        # own per-pivot checkpoint.
+        limits.checkpoint()
         if self._failed:
             return self._failed[-1][1]
         state = (self.closure.version, self._refs_version, len(self._linked))

@@ -50,6 +50,7 @@ from itertools import combinations
 from math import comb
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import limits
 from ..horn.constraints import substitute_unknowns
 from ..horn.solver import HornSolver, HornStatistics, SolveOptions
 from ..horn.spaces import QualifierSpace
@@ -134,6 +135,9 @@ def abduce_condition(
     accumulates the solver's search counters.
     """
     opts = options if options is not None else session.solve_options
+    # Cancellation point per abduction attempt: each spawns a whole
+    # candidate-set Horn search, so check the budget before committing.
+    limits.checkpoint()
     with session.trial():
         unknown = session.fresh_unknown(env, None, kind="C")
         pool = _dedupe_pool(session.spaces[unknown.name].qualifiers)

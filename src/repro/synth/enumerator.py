@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from .. import limits
 from ..syntax.terms import AppTerm, BoolConst, IntConst, Term, VarTerm
 from ..syntax.types import (
     BOOL_BASE,
@@ -138,6 +139,9 @@ class EnumerationStatistics:
     candidates_pruned: int = 0
     #: Minimal unsatisfiable subsets the abduction searches enumerated.
     muses_enumerated: int = 0
+    #: Deepest E-term enumeration level completed or entered — the
+    #: "best depth reached" a timeout report carries.
+    depth_reached: int = 0
 
     def merge(self, other: "EnumerationStatistics") -> None:
         """Accumulate another run's counters into this one."""
@@ -150,6 +154,7 @@ class EnumerationStatistics:
         self.candidates_explored += other.candidates_explored
         self.candidates_pruned += other.candidates_pruned
         self.muses_enumerated += other.muses_enumerated
+        self.depth_reached = max(self.depth_reached, other.depth_reached)
 
     def merge_horn(self, horn: object) -> None:
         """Fold one abduction's Horn search counters into this run."""
@@ -169,6 +174,7 @@ class EnumerationStatistics:
             "candidates_explored": self.candidates_explored,
             "candidates_pruned": self.candidates_pruned,
             "muses_enumerated": self.muses_enumerated,
+            "depth_reached": self.depth_reached,
         }
 
 
@@ -246,10 +252,15 @@ class ETermEnumerator:
         """
         key = (repr(goal_shape), depth)
         if key in self._cache:
-            yield from self._cache[key]
+            for term in self._cache[key]:
+                # Cached replays are cheap to produce but each drives a
+                # goal check downstream — still one budget quantum apiece.
+                limits.checkpoint("enum_terms")
+                yield term
             return
         found: List[Term] = []
         for term in self._generate(goal_shape, depth):
+            limits.checkpoint("enum_terms")
             found.append(term)
             yield term
         self._cache[key] = found

@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
+from .. import limits
 from ..logic import ops
 from ..logic.formulas import FALSE, TRUE, Var
 from ..logic.measures import MeasureDef
@@ -141,6 +142,10 @@ class SynthesisResult:
     #: session of the ordinary type checker.
     verified: bool = False
     reason: str = ""
+    #: True when the run was cut off by a :class:`repro.limits.Budget`
+    #: rather than finishing its search; ``limit`` names what tripped.
+    timeout: bool = False
+    limit: Optional[str] = None
 
     @property
     def solved(self) -> bool:
@@ -196,13 +201,21 @@ class Synthesizer:
     # -- top level -----------------------------------------------------------
 
     def synthesize(self) -> SynthesisResult:
-        """Search for a program inhabiting the goal, verify it, report."""
+        """Search for a program inhabiting the goal, verify it, report.
+
+        A :class:`~repro.limits.BudgetExhausted` escaping the search is
+        degradation, not failure: the result reports ``timeout`` with the
+        best depth reached and the partial statistics, and the synthesizer
+        returns normally — no caller above this ever sees the exception.
+        """
         try:
             program = self._top()
         except TypecheckError as error:
             return SynthesisResult(
                 self.goal, None, self.statistics, reason=f"ill-formed goal: {error}"
             )
+        except limits.BudgetExhausted as exhausted:
+            return self._timeout_result(exhausted)
         if program is None:
             return SynthesisResult(
                 self.goal,
@@ -214,7 +227,30 @@ class Synthesizer:
                     f"{self.statistics.pruned_early} pruned early)"
                 ),
             )
-        return SynthesisResult(self.goal, program, self.statistics, verified=self._verify(program))
+        try:
+            verified = self._verify(program)
+        except limits.BudgetExhausted as exhausted:
+            # Found but not re-checked in time: surface the program, but
+            # as a timeout (and unverified, so it still counts failed).
+            return self._timeout_result(exhausted, program)
+        return SynthesisResult(self.goal, program, self.statistics, verified=verified)
+
+    def _timeout_result(self, exhausted: limits.BudgetExhausted, program=None) -> SynthesisResult:
+        """The structured ``timeout`` outcome every surface renders."""
+        return SynthesisResult(
+            self.goal,
+            program,
+            self.statistics,
+            verified=False,
+            reason=(
+                f"timeout: {exhausted.limit} budget exhausted at depth "
+                f"{self.statistics.depth_reached}/{self.max_depth} "
+                f"({self.statistics.generated} candidates generated, "
+                f"{self.statistics.goal_checks} goal checks)"
+            ),
+            timeout=True,
+            limit=exhausted.limit,
+        )
 
     def _top(self) -> Optional[Term]:
         """Peel the goal's arrows into lambda binders, bind the recursive
@@ -274,6 +310,8 @@ class Synthesizer:
         goal_shape = shape(goal)
         failures: List[Term] = []
         for depth in range(1, self.max_depth + 1):
+            if depth > self.statistics.depth_reached:
+                self.statistics.depth_reached = depth
             for candidate in enumerator.candidates(goal_shape, depth):
                 self.statistics.goal_checks += 1
                 if self.session.try_check(env, candidate, goal).solved:

@@ -174,6 +174,25 @@ class TestEndToEnd:
         assert searched, "no committed benchmark explores multiple guard candidates"
         assert any(c.get("muses_enumerated", 0) > 0 for c in searched)
 
+    def test_committed_baselines_complete_well_inside_budgets(self):
+        """Every committed benchmark mean must sit comfortably inside the
+        per-query budgets the robustness layer advertises (a goal that
+        needs seconds would make documented timeouts like
+        ``--timeout-ms 500`` meaningless on reference hardware).  The
+        bound is the slowest committed case (the cold service sweep at
+        ~1.6s) plus headroom — genuine runaway growth, not noise, trips
+        it."""
+        root = SCRIPT.parent.parent
+        budget_s = 2.5
+        for suite in ("horn", "typecheck", "synth", "smt", "service"):
+            means = gate.load_means(root / f"BENCH_{suite}.json")
+            assert means, f"BENCH_{suite}.json must stay committed"
+            for name, mean_s in means.items():
+                assert mean_s < budget_s, (
+                    f"{name} mean {mean_s:.3f}s exceeds the {budget_s}s "
+                    "budget envelope"
+                )
+
     def test_committed_smt_baseline_exercises_new_counters(self):
         """At least one committed benchmark must witness theory propagation
         and lemma generalization actually firing."""
